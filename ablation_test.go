@@ -1,0 +1,108 @@
+package guardband
+
+import "testing"
+
+func TestAblateResonance(t *testing.T) {
+	res, err := AblateResonance(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the mechanism: a resonance-tuned loop with substantial quality.
+	if res.WithQuality < 0.55 {
+		t.Errorf("with resonance: quality %v, want > 0.55", res.WithQuality)
+	}
+	// Without it the winner needs no phase structure, so the crafted loop
+	// droops strictly less than the resonance-aware one.
+	if res.WithoutResonanceDroopMV >= res.WithResonanceDroopMV {
+		t.Errorf("ablated droop %v >= full-model droop %v",
+			res.WithoutResonanceDroopMV, res.WithResonanceDroopMV)
+	}
+	// The gap should be meaningful (the resonant term is ~40%% of the
+	// virus droop on TTT).
+	if res.WithResonanceDroopMV-res.WithoutResonanceDroopMV < 5 {
+		t.Errorf("resonance worth only %.1f mV of droop; mechanism too weak",
+			res.WithResonanceDroopMV-res.WithoutResonanceDroopMV)
+	}
+}
+
+func TestAblatePatternCoupling(t *testing.T) {
+	res, err := AblatePatternCoupling(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With coupling, checkerboard clearly beats the uniform patterns.
+	if res.WithCoupling.CheckerOverUniform < 1.15 {
+		t.Errorf("with coupling: checker/uniform = %v, want > 1.15",
+			res.WithCoupling.CheckerOverUniform)
+	}
+	// Without coupling that edge collapses toward 1.
+	if res.WithoutCoupling.CheckerOverUniform >= res.WithCoupling.CheckerOverUniform {
+		t.Errorf("ablation did not shrink checker edge: %v -> %v",
+			res.WithCoupling.CheckerOverUniform, res.WithoutCoupling.CheckerOverUniform)
+	}
+	if res.WithoutCoupling.CheckerOverUniform > 1.10 {
+		t.Errorf("without coupling: checker/uniform = %v, want ~1",
+			res.WithoutCoupling.CheckerOverUniform)
+	}
+	// Random keeps an edge in both cases (orientation coverage via
+	// multiple rounds), but it shrinks without coupling.
+	if res.WithoutCoupling.RandomOverChecker >= res.WithCoupling.RandomOverChecker {
+		t.Errorf("random margin did not shrink: %v -> %v",
+			res.WithCoupling.RandomOverChecker, res.WithoutCoupling.RandomOverChecker)
+	}
+}
+
+func TestAblateImplicitRefresh(t *testing.T) {
+	res, err := AblateImplicitRefresh(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithReuseFailures >= res.WithoutReuseFailures {
+		t.Errorf("hot-row reuse did not reduce failures: %d vs %d",
+			res.WithReuseFailures, res.WithoutReuseFailures)
+	}
+	// kmeans re-touches 70%% of its footprint faster than the relaxed
+	// refresh period; removing that protection should land far more cells.
+	if float64(res.WithoutReuseFailures) < 1.5*float64(res.WithReuseFailures) {
+		t.Errorf("implicit refresh worth too little: %d -> %d",
+			res.WithReuseFailures, res.WithoutReuseFailures)
+	}
+}
+
+func TestThermalGradient(t *testing.T) {
+	res, err := ThermalGradient(DefaultSeed, []float64{45, 50, 55, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	if res.RegulationMaxDevC >= 1.0 {
+		t.Errorf("regulation deviation %v degC across a gradient", res.RegulationMaxDevC)
+	}
+	// Failures must increase monotonically with DIMM temperature, and
+	// steeply (the ~e-fold-per-8.7C acceleration).
+	for i := 1; i < len(res.Entries); i++ {
+		if res.Entries[i].Failures <= res.Entries[i-1].Failures {
+			t.Errorf("DIMM %d (%.0fC) failures %d not above DIMM %d (%.0fC) %d",
+				i, res.Entries[i].TargetC, res.Entries[i].Failures,
+				i-1, res.Entries[i-1].TargetC, res.Entries[i-1].Failures)
+		}
+	}
+	hotOverCold := float64(res.Entries[3].Failures) / float64(res.Entries[0].Failures+1)
+	if hotOverCold < 8 {
+		t.Errorf("60C/45C failure ratio %v too shallow for the retention model", hotOverCold)
+	}
+	// Per-channel regulation: actuals near their distinct targets.
+	for _, e := range res.Entries {
+		if d := e.ActualC - e.TargetC; d > 1 || d < -1 {
+			t.Errorf("DIMM %d regulated to %v for target %v", e.DIMM, e.ActualC, e.TargetC)
+		}
+	}
+}
+
+func TestThermalGradientValidation(t *testing.T) {
+	if _, err := ThermalGradient(DefaultSeed, []float64{50}); err == nil {
+		t.Error("wrong target count accepted")
+	}
+}

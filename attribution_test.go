@@ -1,0 +1,68 @@
+package guardband
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/silicon"
+)
+
+func TestAttributeFailuresAllCores(t *testing.T) {
+	res, err := AttributeFailures(DefaultSeed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != silicon.NumCores {
+		t.Fatalf("attributed %d cores, want %d", len(res.Cores), silicon.NumCores)
+	}
+	for _, c := range res.Cores {
+		// SRAM gives up at or before logic on every core: the fabricated
+		// lead is 2-5 mV, shifted slightly by the small droop difference
+		// between the two power-matched viruses.
+		if c.SRAMLeadMV < 0 || c.SRAMLeadMV > 8 {
+			t.Errorf("%s: SRAM lead %.0f mV outside [0, 8]", c.Core, c.SRAMLeadMV)
+		}
+		if !c.CacheModesOnly() {
+			t.Errorf("%s: cache virus failure modes %v not SRAM-style", c.Core, c.CacheOutcomes)
+		}
+		if !c.LogicModesOnly() {
+			t.Errorf("%s: ALU virus failure modes %v not pipeline-style", c.Core, c.LogicOutcomes)
+		}
+		if c.CacheVminMV < c.LogicVminMV {
+			t.Errorf("%s: cache Vmin %.0f below logic Vmin %.0f", c.Core, c.CacheVminMV, c.LogicVminMV)
+		}
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "pmd0.c0") || !strings.Contains(out, "SRAM lead") {
+		t.Error("table rendering incomplete")
+	}
+}
+
+func TestAttributeFailuresSingleCore(t *testing.T) {
+	id := silicon.CoreID{PMD: 2, Core: 1}
+	res, err := AttributeFailures(DefaultSeed, 2, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 || res.Cores[0].Core != id.String() {
+		t.Fatalf("unexpected cores: %+v", res.Cores)
+	}
+}
+
+func TestModeClassifierHelpers(t *testing.T) {
+	c := CoreAttribution{
+		CacheOutcomes: map[string]int{"CE": 2, "SDC": 1},
+		LogicOutcomes: map[string]int{"crash": 1},
+	}
+	if !c.CacheModesOnly() || !c.LogicModesOnly() {
+		t.Error("clean attribution misclassified")
+	}
+	c.CacheOutcomes["crash"] = 1
+	if c.CacheModesOnly() {
+		t.Error("crash in cache outcomes not flagged")
+	}
+	empty := CoreAttribution{}
+	if empty.CacheModesOnly() || empty.LogicModesOnly() {
+		t.Error("empty outcome sets should not classify as clean")
+	}
+}

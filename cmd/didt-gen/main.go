@@ -1,0 +1,96 @@
+// Command didt-gen crafts a dI/dt voltage-noise virus with the paper's
+// GA+EM flow: candidate instruction loops are scored by averaged EM-probe
+// amplitude (the proxy for supply droop on a board without fine-grained
+// voltage telemetry) and evolved until the loop switches the core's power
+// at the PDN resonant frequency.
+//
+// Usage:
+//
+//	didt-gen [-chip TTT|TFF|TSS] [-generations N] [-pop N] [-seed N] [-vmin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	guardband "repro"
+	"repro/internal/core"
+	"repro/internal/silicon"
+	"repro/internal/viruses"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "didt-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	chipName := flag.String("chip", "TTT", "process corner")
+	gens := flag.Int("generations", 40, "GA generations")
+	pop := flag.Int("pop", 48, "GA population size")
+	seed := flag.Uint64("seed", guardband.DefaultSeed, "search seed")
+	vmin := flag.Bool("vmin", false, "also Vmin-test the crafted virus")
+	flag.Parse()
+
+	var corner silicon.Corner
+	switch strings.ToUpper(*chipName) {
+	case "TTT":
+		corner = silicon.TTT
+	case "TFF":
+		corner = silicon.TFF
+	case "TSS":
+		corner = silicon.TSS
+	default:
+		return fmt.Errorf("unknown chip %q", *chipName)
+	}
+
+	srv, err := guardband.NewServer(corner, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := viruses.DefaultDIdtConfig()
+	cfg.GA.Generations = *gens
+	cfg.GA.PopulationSize = *pop
+	cfg.GA.Seed = *seed
+	cfg.Core = srv.Chip().WeakestCore()
+
+	res, err := viruses.CraftDIdt(srv, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crafted loop (%d instructions):\n  %s\n", res.Loop.Len(), res.Loop)
+	fmt.Printf("EM amplitude: %.1f uV\n", res.EMAmplitudeUV)
+	q, err := viruses.ResonanceQuality(srv, res.Loop, cfg.Core)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resonance quality vs ideal square wave: %.0f%%\n", q*100)
+	fmt.Println("\nconvergence (generation: best EM uV):")
+	for i, h := range res.History {
+		if i%5 == 0 || i == len(res.History)-1 {
+			fmt.Printf("  %3d: %.1f\n", h.Generation, h.BestFitness)
+		}
+	}
+
+	if *vmin {
+		fw, err := guardband.NewFramework(srv)
+		if err != nil {
+			return err
+		}
+		profile, err := srv.LoopProfile("didt-virus", res.Loop, cfg.Core)
+		if err != nil {
+			return err
+		}
+		vres, err := fw.VminSearch(core.DefaultVminConfig(profile, core.NominalSetup(cfg.Core)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nvirus safe Vmin on %s weakest core: %.0f mV (margin %.0f mV below nominal)\n",
+			corner, vres.SafeVminV*1000, (guardband.NominalVoltage-vres.SafeVminV)*1000)
+	}
+	return nil
+}

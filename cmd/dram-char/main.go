@@ -1,0 +1,122 @@
+// Command dram-char runs DRAM retention characterization: it regulates the
+// DIMMs to a target temperature with the thermal testbed, relaxes the
+// refresh period, runs the data-pattern benchmarks (and optionally a
+// workload), and reports per-bank unique error locations, BER and the ECC
+// classification of every corrupted codeword.
+//
+// Usage:
+//
+//	dram-char [-temp C] [-trefp-mult N] [-pattern all|all0|all1|checker|random]
+//	          [-workload name] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	guardband "repro"
+	"repro/internal/dram"
+	"repro/internal/report"
+	"repro/internal/thermal"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dram-char: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tempC := flag.Float64("temp", 50, "regulated DIMM temperature (degC)")
+	mult := flag.Int("trefp-mult", 35, "refresh period relaxation factor over 64 ms")
+	patternSel := flag.String("pattern", "all", "DPBench: all, all0, all1, checker or random")
+	workloadName := flag.String("workload", "", "also scan this workload's memory behaviour")
+	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
+	flag.Parse()
+
+	if *mult < 1 {
+		return fmt.Errorf("trefp-mult must be >= 1")
+	}
+	trefp := time.Duration(*mult) * guardband.NominalTREFP
+
+	srv, err := guardband.NewServer(guardband.TTT, *seed)
+	if err != nil {
+		return err
+	}
+
+	// Thermal regulation through the testbed, as in the paper's flow.
+	geom := srv.DRAM().Config().Geometry
+	tb, err := thermal.NewTestbed(geom.DIMMs, 30, *seed)
+	if err != nil {
+		return err
+	}
+	if err := tb.SetAllTargets(*tempC); err != nil {
+		return err
+	}
+	dev, err := tb.Settle(0.5, time.Hour, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	for d := 0; d < geom.DIMMs; d++ {
+		temp, err := tb.Temp(d)
+		if err != nil {
+			return err
+		}
+		if err := srv.SetDIMMTemp(d, temp); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("DIMMs regulated to %.0f degC (max deviation %.2f degC); TREFP %v (%dx)\n\n",
+		*tempC, dev, trefp, *mult)
+
+	kinds := dram.PatternKinds()
+	if *patternSel != "all" {
+		kinds = nil
+		for _, k := range dram.PatternKinds() {
+			if k.String() == *patternSel {
+				kinds = []dram.PatternKind{k}
+			}
+		}
+		if kinds == nil {
+			return fmt.Errorf("unknown pattern %q", *patternSel)
+		}
+	}
+
+	t := report.NewTable("DPBench scans", "pattern", "failures", "BER", "CE", "UE", "SDC", "bank spread")
+	for _, kind := range kinds {
+		p, err := dram.NewPattern(kind)
+		if err != nil {
+			return err
+		}
+		res, err := srv.DRAM().ScanPattern(p, trefp, *seed)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(kind.String(),
+			fmt.Sprintf("%d", len(res.Failures)),
+			fmt.Sprintf("%.3g", res.BER),
+			fmt.Sprintf("%d", res.CE),
+			fmt.Sprintf("%d", res.UE),
+			fmt.Sprintf("%d", res.SDC),
+			report.Pct(res.UniqueBankSpread()))
+	}
+	fmt.Println(t)
+
+	if *workloadName != "" {
+		w, err := workloads.ByName(*workloadName)
+		if err != nil {
+			return err
+		}
+		res, err := srv.DRAM().ScanWorkload(w.Mem, trefp, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload %s: failures %d, BER %.3g, CE %d, UE %d, SDC %d\n",
+			w.Name, len(res.Failures), res.BER, res.CE, res.UE, res.SDC)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Command experiments runs every table/figure reproduction and prints a
+// paper-vs-measured summary — the one-shot verification entry point.
+//
+// Usage:
+//
+//	experiments [-seed N] [-reps N] [-run regexp-free-name]
+//
+// -run selects a single experiment by id (fig4, fig5, fig6, fig7, table1,
+// fig8a, fig8b, fig9, stencil); the default runs all of them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	guardband "repro"
+)
+
+func main() {
+	seed := flag.Uint64("seed", guardband.DefaultSeed, "experiment seed (board population)")
+	reps := flag.Int("reps", 10, "repetitions per voltage step (paper: 10)")
+	run := flag.String("run", "", "run only this experiment id (fig4..fig9, table1, stencil)")
+	flag.Parse()
+
+	type experiment struct {
+		id string
+		fn func() error
+	}
+	experiments := []experiment{
+		{"fig4", func() error {
+			res, err := guardband.Fig4SpecVmin(*seed, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			for _, chip := range []string{"TTT", "TFF", "TSS"} {
+				lo, hi := res.Range(chip)
+				fmt.Printf("  %s range %.0f-%.0f mV\n", chip, lo, hi)
+			}
+			fmt.Println("  paper: TTT 860-885, TFF 870-885, TSS 870-900, nominal 980")
+			return nil
+		}},
+		{"fig5", func() error {
+			res, err := guardband.Fig5Tradeoff(*seed, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fmt.Printf("  predictor point: %.1f%% savings (paper 12.8%%)\n", res.PredictorSavingsPct)
+			fmt.Printf("  2 weak PMDs @1.2GHz: %.1f%% savings (paper 38.8%%)\n", res.MaxSavingsPct)
+			return nil
+		}},
+		{"fig6", func() error {
+			res, err := guardband.Fig6VirusVsNAS(*seed, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Chart())
+			fmt.Printf("  crafted loop: %s\n", res.VirusLoop)
+			fmt.Println("  paper: EM virus has the highest Vmin of all workloads")
+			return nil
+		}},
+		{"fig7", func() error {
+			res, err := guardband.Fig7InterChip(*seed, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fmt.Println("  paper margins: TTT 60mV, TFF 20mV, TSS ~zero")
+			return nil
+		}},
+		{"table1", func() error {
+			res, err := guardband.Table1BankVariation(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fmt.Printf("  all errors ECC-corrected: %v (paper: yes <=60C); regulation max dev %.2fC (paper <1)\n",
+				res.AllCorrected, res.RegulationMaxDevC)
+			fmt.Println("  paper: ~163-230 per bank @50C (41% spread), ~3293-3842 @60C (16% spread)")
+			return nil
+		}},
+		{"fig8a", func() error {
+			res, err := guardband.Fig8aBER(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Chart())
+			fmt.Println("  paper: random DPBench highest; HPC apps vary up to ~2.5x")
+			return nil
+		}},
+		{"fig8b", func() error {
+			res, err := guardband.Fig8bRefreshPower()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Chart())
+			fmt.Println("  paper: nw 27.3% (max), kmeans 9.4% (min)")
+			return nil
+		}},
+		{"fig9", func() error {
+			res, err := guardband.Fig9JammerSavings(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fmt.Printf("  total savings %.1f%% (paper 20.2%%); outcome %s; QoS recall %.2f, deadline met %v\n",
+				res.TotalSavings*100, res.UndervoltedOutcome, res.Recall, res.DeadlineMet)
+			return nil
+		}},
+		{"stencil", func() error {
+			res, err := guardband.StencilScheduling(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Stencil scheduling (IV.C):\n  baseline max row interval %v -> tiled %v (TREFP %v)\n",
+				res.BaselineMaxInterval, res.TiledMaxInterval, guardband.RelaxedTREFP)
+			fmt.Printf("  manifested errors %d -> %d; meets TREFP: %v\n",
+				res.BaselineErrors, res.TiledErrors, res.MeetsTREFP)
+			return nil
+		}},
+		{"attribution", func() error {
+			res, err := guardband.AttributeFailures(*seed, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fmt.Println("  Section III: cache arrays fail (CE/SDC/UE) a few mV before pipeline logic crashes")
+			return nil
+		}},
+		{"gradient", func() error {
+			res, err := guardband.ThermalGradient(*seed, []float64{45, 50, 55, 60})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fmt.Printf("  per-channel PID regulation within %.2f degC\n", res.RegulationMaxDevC)
+			return nil
+		}},
+		{"ablations", func() error {
+			ar, err := guardband.AblateResonance(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("PDN resonance:     droop %.1f mV (quality %.0f%%) -> %.1f mV (quality %.0f%%) without\n",
+				ar.WithResonanceDroopMV, ar.WithQuality*100,
+				ar.WithoutResonanceDroopMV, ar.WithoutQuality*100)
+			ap, err := guardband.AblatePatternCoupling(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("pattern coupling:  checker/uniform %.2fx -> %.2fx without\n",
+				ap.WithCoupling.CheckerOverUniform, ap.WithoutCoupling.CheckerOverUniform)
+			ai, err := guardband.AblateImplicitRefresh(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("implicit refresh:  kmeans failures %d -> %d without reuse\n",
+				ai.WithReuseFailures, ai.WithoutReuseFailures)
+			return nil
+		}},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *run != "" && !strings.EqualFold(*run, e.id) {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", e.id)
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,161 @@
+// Command guardband-char runs CPU undervolting characterization campaigns:
+// it searches the safe Vmin of one or more benchmarks on a chosen chip and
+// core, following the paper's automated flow (descend in 5 mV steps, N
+// repetitions per step, watchdog/reset recovery), and emits a CSV of every
+// run plus a summary table.
+//
+// Usage:
+//
+//	guardband-char [-chip TTT|TFF|TSS] [-bench name,name|all]
+//	               [-core robust|weakest|pmdP.cC] [-reps N] [-seed N]
+//	               [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	guardband "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "guardband-char: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	chipName := flag.String("chip", "TTT", "process corner: TTT, TFF or TSS")
+	benchList := flag.String("bench", "all", "comma-separated benchmark names, or 'all' for SPEC2006")
+	coreSel := flag.String("core", "robust", "core: robust, weakest, or pmdP.cC")
+	reps := flag.Int("reps", 10, "repetitions per voltage step")
+	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
+	csvPath := flag.String("csv", "", "write per-run records to this CSV file")
+	flag.Parse()
+
+	var corner silicon.Corner
+	switch strings.ToUpper(*chipName) {
+	case "TTT":
+		corner = silicon.TTT
+	case "TFF":
+		corner = silicon.TFF
+	case "TSS":
+		corner = silicon.TSS
+	default:
+		return fmt.Errorf("unknown chip %q", *chipName)
+	}
+
+	srv, err := guardband.NewServer(corner, *seed)
+	if err != nil {
+		return err
+	}
+	fw, err := guardband.NewFramework(srv)
+	if err != nil {
+		return err
+	}
+
+	coreID, err := pickCore(srv, *coreSel)
+	if err != nil {
+		return err
+	}
+
+	var benches []workloads.Profile
+	if *benchList == "all" {
+		benches = workloads.SPEC2006()
+	} else {
+		for _, name := range strings.Split(*benchList, ",") {
+			p, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			benches = append(benches, p)
+		}
+	}
+
+	summary := report.NewTable(
+		fmt.Sprintf("Safe Vmin on %s chip, core %v, %d reps/step", corner, coreID, *reps),
+		"benchmark", "safe Vmin", "first fail", "guardband", "failure modes")
+	for _, bench := range benches {
+		cfg := core.DefaultVminConfig(bench, core.NominalSetup(coreID))
+		cfg.Repetitions = *reps
+		cfg.Seed = *seed
+		res, err := fw.VminSearch(cfg)
+		if err != nil {
+			return err
+		}
+		modes := make([]string, 0, len(res.FailureOutcomes))
+		for o, n := range res.FailureOutcomes {
+			modes = append(modes, fmt.Sprintf("%s x%d", o, n))
+		}
+		summary.AddRowf(bench.Name,
+			report.MV(res.SafeVminV),
+			report.MV(res.FirstFailV),
+			report.MV(res.GuardbandV),
+			strings.Join(modes, " "))
+	}
+	fmt.Println(summary)
+	fmt.Printf("campaign simulated time: %v, runs: %d\n", fw.Elapsed(), len(fw.Records()))
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, fw.Records()); err != nil {
+			return err
+		}
+		fmt.Printf("per-run records written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+// pickCore resolves the -core flag.
+func pickCore(srv *guardband.Server, sel string) (silicon.CoreID, error) {
+	switch sel {
+	case "robust":
+		return srv.Chip().MostRobustCore(), nil
+	case "weakest":
+		return srv.Chip().WeakestCore(), nil
+	}
+	// pmdP.cC syntax.
+	var p, c int
+	if n, err := fmt.Sscanf(sel, "pmd%d.c%d", &p, &c); n == 2 && err == nil {
+		id := silicon.CoreID{PMD: p, Core: c}
+		if !id.Valid() {
+			return silicon.CoreID{}, fmt.Errorf("core %s out of range", sel)
+		}
+		return id, nil
+	}
+	return silicon.CoreID{}, fmt.Errorf("bad core selector %q (robust, weakest or pmdP.cC)", sel)
+}
+
+// writeCSV dumps the framework's run records.
+func writeCSV(path string, records []core.RunRecord) error {
+	t := report.NewTable("", "benchmark", "voltage_mv", "repetition", "outcome",
+		"droop_mv", "dram_ce", "dram_ue", "dram_sdc", "recovered", "sim_time")
+	for _, r := range records {
+		t.AddRowf(r.Benchmark,
+			strconv.FormatFloat(r.Setup.PMDVoltage*1000, 'f', 0, 64),
+			strconv.Itoa(r.Repetition),
+			r.Outcome.String(),
+			strconv.FormatFloat(r.DroopMV, 'f', 2, 64),
+			strconv.Itoa(r.DRAMCE),
+			strconv.Itoa(r.DRAMUE),
+			strconv.Itoa(r.DRAMSDC),
+			strconv.FormatBool(r.Recovered),
+			r.SimTime.String())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,32 @@
+// Command tradeoff explores the Fig. 5 power/performance ladder: the
+// eight-benchmark multi-programmed mix with k of the weakest PMDs
+// down-clocked to 1.2 GHz, measuring the chip-level safe voltage at every
+// step and reporting relative power.
+//
+// Usage:
+//
+//	tradeoff [-seed N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	guardband "repro"
+)
+
+func main() {
+	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
+	reps := flag.Int("reps", 10, "repetitions per voltage step")
+	flag.Parse()
+
+	res, err := guardband.Fig5Tradeoff(*seed, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Table())
+	fmt.Printf("predictor point (no perf loss): %.1f%% power savings\n", res.PredictorSavingsPct)
+	fmt.Printf("two weak PMDs at 1.2 GHz:       %.1f%% power savings at 75%% performance\n", res.MaxSavingsPct)
+}

@@ -1,0 +1,64 @@
+// didt-virus crafts a worst-case voltage-noise stress test with the
+// paper's GA+EM methodology (Section III.C): the genetic algorithm sees
+// only noisy electromagnetic-emanation amplitudes — never the chip's droop
+// model — and still discovers a loop that switches the core between high
+// and low power at the PDN's resonant frequency. The crafted virus is then
+// Vmin-tested against real workloads to confirm it is the worst case.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	guardband "repro"
+	"repro/internal/core"
+	"repro/internal/viruses"
+	"repro/internal/workloads"
+)
+
+func main() {
+	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := viruses.DefaultDIdtConfig()
+	cfg.Core = srv.Chip().WeakestCore()
+	cfg.GA.Seed = guardband.DefaultSeed
+	res, err := viruses.CraftDIdt(srv, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("crafted dI/dt loop (%d instructions):\n  %s\n\n", res.Loop.Len(), res.Loop)
+	q, err := viruses.ResonanceQuality(srv, res.Loop, cfg.Core)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EM amplitude %.1f uV; resonance quality %.0f%% of the ideal square wave\n", res.EMAmplitudeUV, q*100)
+	fmt.Printf("PDN resonant period at 2.4 GHz: %d cycles\n\n", srv.Chip().Net.ResonantPeriodCycles(guardband.NominalFreqHz))
+
+	// Prove it is the worst case: Vmin-test against the NAS suite.
+	fw, err := guardband.NewFramework(srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	virus, err := srv.LoopProfile("didt-virus", res.Loop, cfg.Core)
+	if err != nil {
+		log.Fatal(err)
+	}
+	search := func(p guardband.Profile) float64 {
+		c := core.DefaultVminConfig(p, core.NominalSetup(cfg.Core))
+		c.Repetitions = 3
+		r, err := fw.VminSearch(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.SafeVminV * 1000
+	}
+	fmt.Printf("%-10s %s\n", "workload", "safe Vmin")
+	fmt.Printf("%-10s %.0f mV   <-- highest: the crafted worst case\n", "EM virus", search(virus))
+	for _, w := range workloads.NASSuite()[:4] {
+		fmt.Printf("%-10s %.0f mV\n", w.Name, search(w))
+	}
+}

@@ -1,0 +1,84 @@
+// governor demonstrates the paper's envisioned deployment (Section IV.D):
+// train the counter-based Vmin predictor on a characterization campaign,
+// hand it to a voltage governor together with a droop history, and let the
+// governor steer the PMD rail per scheduled workload — saving energy with
+// an adaptive guard band and automatic fallback on any disruption.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	guardband "repro"
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/microarch"
+	"repro/internal/predictor"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// Phase 1: characterize — whole-chip Vmin per SPEC benchmark.
+	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := guardband.NewFramework(srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 1: characterization campaign (training data)")
+	var samples []predictor.Sample
+	for _, b := range workloads.SPEC2006() {
+		cfg := core.DefaultVminConfig(b, core.NominalSetup(silicon.AllCores()...))
+		cfg.Repetitions = 3
+		res, err := fw.VminSearch(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctr, err := microarch.Simulate(b.Mix, b.Stream, 200000, 0xC0FFEE)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, predictor.Sample{
+			Features: predictor.FeaturesOf(b, ctr),
+			VminV:    res.SafeVminV,
+		})
+		fmt.Printf("  %-10s chip Vmin %.0f mV\n", b.Name, res.SafeVminV*1000)
+	}
+
+	// Phase 2: train the predictor.
+	model, err := predictor.Train(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphase 2: predictor trained, in-sample MAE %.1f mV\n", model.MAE(samples)*1000)
+
+	// Phase 3: governed deployment on a fresh board.
+	dep, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gov, err := governor.New(governor.DefaultConfig(), model, &predictor.DroopHistory{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var seq []workloads.Profile
+	for _, n := range []string{"mcf", "namd", "milc", "cactusADM", "gcc", "leslie3d", "bwaves", "gromacs"} {
+		p, err := workloads.ByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq = append(seq, p)
+	}
+	rep, err := gov.RunWorkloads(dep, seq, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphase 3: governed deployment over %d workloads\n", rep.Runs)
+	fmt.Printf("  mean governed rail: %.0f mV (nominal %.0f)\n",
+		rep.MeanVoltage*1000, guardband.NominalVoltage*1000)
+	fmt.Printf("  PMD energy savings: %.1f%%\n", rep.EnergySavingsPct)
+	fmt.Printf("  disruptions: %d (guard band now %.0f mV)\n", rep.Disruptions, gov.GuardV()*1000)
+}

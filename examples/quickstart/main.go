@@ -1,0 +1,53 @@
+// Quickstart: fabricate a simulated X-Gene2 board, wrap it with the
+// characterization framework, and find the safe Vmin of one SPEC benchmark
+// on the chip's most robust core — the smallest end-to-end use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	guardband "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	// A board is fully determined by (corner, seed): the same pair always
+	// fabricates the same chip and DRAM population.
+	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := guardband.NewFramework(srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bench, err := guardband.Workload("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's undervolting flow: descend from nominal in 5 mV steps,
+	// ten repetitions per step, stop at the first disruption.
+	robust := srv.Chip().MostRobustCore()
+	cfg := core.DefaultVminConfig(bench, core.NominalSetup(robust))
+	res, err := fw.VminSearch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("chip: %s (corner %s)\n", srv.Chip().Serial, srv.Chip().Corner)
+	fmt.Printf("most robust core: %v\n", robust)
+	fmt.Printf("benchmark: %s\n", bench.Name)
+	fmt.Printf("safe Vmin: %.0f mV (nominal %.0f mV)\n",
+		res.SafeVminV*1000, guardband.NominalVoltage*1000)
+	fmt.Printf("guardband: %.0f mV of rail, %.1f%% of dynamic power\n",
+		res.GuardbandV*1000,
+		(1-(res.SafeVminV/guardband.NominalVoltage)*(res.SafeVminV/guardband.NominalVoltage))*100)
+	fmt.Printf("first failure at %.0f mV with outcomes %v\n",
+		res.FirstFailV*1000, res.FailureOutcomes)
+	fmt.Printf("campaign: %d runs, %v of simulated board time\n",
+		len(res.Records), fw.Elapsed())
+}

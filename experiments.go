@@ -1,0 +1,385 @@
+package guardband
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/predictor"
+	"repro/internal/report"
+	"repro/internal/silicon"
+	"repro/internal/viruses"
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+)
+
+// DefaultSeed is the fixed seed behind the published harness numbers in
+// EXPERIMENTS.md; any other seed yields a different (but equally valid)
+// board population.
+const DefaultSeed uint64 = 1
+
+// Fig4Entry is one bar of Fig. 4: a benchmark's safe Vmin on one chip's
+// most robust core at 2.4 GHz.
+type Fig4Entry struct {
+	Chip      string
+	Benchmark string
+	VminMV    float64
+	// GuardbandPct is the squared-voltage (dynamic power) headroom vs the
+	// 980 mV nominal — the paper's ">=18.4%" framing.
+	GuardbandPct float64
+}
+
+// Fig4Result aggregates the SPEC2006 undervolting campaign on all three
+// corner chips.
+type Fig4Result struct {
+	Entries []Fig4Entry
+}
+
+// Fig4SpecVmin reproduces Fig. 4: the full undervolting flow for the ten
+// SPEC CPU2006 profiles on the TTT, TFF and TSS chips' most robust cores,
+// repetitions runs per voltage step (the paper uses ten).
+func Fig4SpecVmin(seed uint64, repetitions int) (Fig4Result, error) {
+	var out Fig4Result
+	for _, corner := range silicon.Corners() {
+		srv, err := NewServer(corner, seed)
+		if err != nil {
+			return out, err
+		}
+		fw, err := NewFramework(srv)
+		if err != nil {
+			return out, err
+		}
+		robust := srv.Chip().MostRobustCore()
+		for _, bench := range workloads.SPEC2006() {
+			cfg := core.DefaultVminConfig(bench, core.NominalSetup(robust))
+			cfg.Repetitions = repetitions
+			cfg.Seed = seed
+			res, err := fw.VminSearch(cfg)
+			if err != nil {
+				return out, fmt.Errorf("guardband: fig4 %s/%s: %w", corner, bench.Name, err)
+			}
+			v := res.SafeVminV
+			out.Entries = append(out.Entries, Fig4Entry{
+				Chip:         corner.String(),
+				Benchmark:    bench.Name,
+				VminMV:       v * 1000,
+				GuardbandPct: (1 - (v/NominalVoltage)*(v/NominalVoltage)) * 100,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Range returns the min and max Vmin (mV) measured on one chip.
+func (r Fig4Result) Range(chip string) (lo, hi float64) {
+	lo, hi = 0, 0
+	for _, e := range r.Entries {
+		if e.Chip != chip {
+			continue
+		}
+		if lo == 0 || e.VminMV < lo {
+			lo = e.VminMV
+		}
+		if e.VminMV > hi {
+			hi = e.VminMV
+		}
+	}
+	return lo, hi
+}
+
+// Table renders the result in the paper's layout (one row per benchmark,
+// one column per chip).
+func (r Fig4Result) Table() *report.Table {
+	t := report.NewTable("Fig. 4: safe Vmin (mV) at 2.4 GHz, most robust core", "benchmark", "TTT", "TFF", "TSS")
+	byBench := map[string]map[string]float64{}
+	var order []string
+	for _, e := range r.Entries {
+		if byBench[e.Benchmark] == nil {
+			byBench[e.Benchmark] = map[string]float64{}
+			order = append(order, e.Benchmark)
+		}
+		byBench[e.Benchmark][e.Chip] = e.VminMV
+	}
+	sort.Strings(order)
+	for _, b := range order {
+		m := byBench[b]
+		t.AddRowf(b,
+			fmt.Sprintf("%.0f", m["TTT"]),
+			fmt.Sprintf("%.0f", m["TFF"]),
+			fmt.Sprintf("%.0f", m["TSS"]))
+	}
+	return t
+}
+
+// Fig5Step is one rung of the Fig. 5 power/performance ladder.
+type Fig5Step struct {
+	// SlowPMDs is how many of the weakest PMDs run at 1.2 GHz.
+	SlowPMDs int
+	// SafeVminMV is the measured chip-level safe voltage for the
+	// eight-benchmark mix at this DVFS assignment.
+	SafeVminMV float64
+	// PerfPct is delivered throughput relative to all-nominal.
+	PerfPct float64
+	// PowerPct is relative PMD dynamic power (the figure's labels).
+	PowerPct float64
+	// SavingsPct is 100 - PowerPct.
+	SavingsPct float64
+}
+
+// Fig5Result is the Fig. 5 reproduction.
+type Fig5Result struct {
+	Steps []Fig5Step
+	// PredictorSavingsPct is the no-performance-loss operating point the
+	// predictor enables (paper: 12.8%).
+	PredictorSavingsPct float64
+	// MaxSavingsPct is the deepest rung the paper highlights (two slow
+	// PMDs, 25% perf loss; paper: 38.8%).
+	MaxSavingsPct float64
+}
+
+// Fig5Tradeoff reproduces Fig. 5: the multi-programmed eight-benchmark
+// mix (bwaves...namd), down-clocking k = 0..4 of the weakest PMDs to
+// 1.2 GHz, measuring the chip-level safe Vmin at each step, and reporting
+// the power/performance trade-off.
+func Fig5Tradeoff(seed uint64, repetitions int) (Fig5Result, error) {
+	srv, err := NewServer(TTT, seed)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	fw, err := NewFramework(srv)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	plan := predictor.PlanDownclock(srv.Chip())
+
+	// Scheduling assist: lightest benchmarks on the weakest PMDs, so the
+	// modules that must stay fast carry the heavy current.
+	mix := workloads.Fig5Mix()
+	sort.Slice(mix, func(i, j int) bool { return mix[i].AvgCurrentA() < mix[j].AvgCurrentA() })
+	assignments := make([]xgene.Assignment, 0, len(mix))
+	for i, w := range mix {
+		pmd := plan.Order[i/silicon.CoresPerPMD]
+		assignments = append(assignments, xgene.Assignment{
+			Core:     silicon.CoreID{PMD: pmd, Core: i % silicon.CoresPerPMD},
+			Workload: w,
+		})
+	}
+
+	var out Fig5Result
+	for k := 0; k <= silicon.NumPMDs; k++ {
+		freqs, err := plan.FreqAssignment(k)
+		if err != nil {
+			return out, err
+		}
+		setup := core.NominalSetup(silicon.AllCores()...)
+		setup.PMDFreqHz = freqs
+		res, err := fw.VminSearchMulti(core.MultiVminConfig{
+			Assignments: assignments,
+			Setup:       setup,
+			FloorV:      0.70,
+			StepV:       0.005,
+			Repetitions: repetitions,
+			Seed:        seed,
+		})
+		if err != nil {
+			return out, fmt.Errorf("guardband: fig5 step %d: %w", k, err)
+		}
+		var perfSum float64
+		for _, f := range freqs {
+			perfSum += f / NominalFreqHz
+		}
+		powerPct := power.PMDDynamicRatio(res.SafeVminV, freqs) * 100
+		out.Steps = append(out.Steps, Fig5Step{
+			SlowPMDs:   k,
+			SafeVminMV: res.SafeVminV * 1000,
+			PerfPct:    perfSum / silicon.NumPMDs * 100,
+			PowerPct:   powerPct,
+			SavingsPct: 100 - powerPct,
+		})
+	}
+	out.PredictorSavingsPct = out.Steps[0].SavingsPct
+	out.MaxSavingsPct = out.Steps[2].SavingsPct
+	return out, nil
+}
+
+// Table renders the ladder.
+func (r Fig5Result) Table() *report.Table {
+	t := report.NewTable("Fig. 5: power/performance trade-off, 8-benchmark mix on TTT",
+		"slow PMDs", "safe Vmin", "perf", "rel power", "savings")
+	for _, s := range r.Steps {
+		t.AddRowf(fmt.Sprintf("%d", s.SlowPMDs),
+			fmt.Sprintf("%.0fmV", s.SafeVminMV),
+			fmt.Sprintf("%.1f%%", s.PerfPct),
+			fmt.Sprintf("%.1f%%", s.PowerPct),
+			fmt.Sprintf("%.1f%%", s.SavingsPct))
+	}
+	return t
+}
+
+// NamedVmin pairs a workload with a measured Vmin.
+type NamedVmin struct {
+	Name   string
+	VminMV float64
+}
+
+// Fig6Result compares the crafted dI/dt virus against the NAS suite.
+type Fig6Result struct {
+	// Virus is the EM-crafted loop's Vmin on the weakest core.
+	Virus NamedVmin
+	// VirusEMuV is the virus's EM amplitude (the GA's fitness signal).
+	VirusEMuV float64
+	// VirusLoop is the assembly-like rendering of the crafted loop.
+	VirusLoop string
+	// NAS holds the suite's Vmins on the same core.
+	NAS []NamedVmin
+}
+
+// Fig6VirusVsNAS reproduces Fig. 6: craft a dI/dt virus with the GA+EM
+// flow on the TTT chip, then Vmin-test it against every NAS benchmark on
+// the same (weakest) core. The virus must exhibit the highest Vmin.
+func Fig6VirusVsNAS(seed uint64, repetitions int) (Fig6Result, error) {
+	srv, err := NewServer(TTT, seed)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	fw, err := NewFramework(srv)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	weakest := srv.Chip().WeakestCore()
+
+	vcfg := viruses.DefaultDIdtConfig()
+	vcfg.Core = weakest
+	vcfg.GA.Seed = seed
+	crafted, err := viruses.CraftDIdt(srv, vcfg)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	virusProfile, err := srv.LoopProfile("didt-virus", crafted.Loop, weakest)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+
+	out := Fig6Result{
+		VirusEMuV: crafted.EMAmplitudeUV,
+		VirusLoop: crafted.Loop.String(),
+	}
+	search := func(p Profile) (float64, error) {
+		cfg := core.DefaultVminConfig(p, core.NominalSetup(weakest))
+		cfg.Repetitions = repetitions
+		cfg.Seed = seed
+		res, err := fw.VminSearch(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.SafeVminV * 1000, nil
+	}
+	v, err := search(virusProfile)
+	if err != nil {
+		return out, err
+	}
+	out.Virus = NamedVmin{Name: "EM virus", VminMV: v}
+	for _, b := range workloads.NASSuite() {
+		v, err := search(b)
+		if err != nil {
+			return out, err
+		}
+		out.NAS = append(out.NAS, NamedVmin{Name: b.Name, VminMV: v})
+	}
+	return out, nil
+}
+
+// Chart renders Fig. 6 as a bar chart.
+func (r Fig6Result) Chart() *report.BarChart {
+	c := report.NewBarChart("Fig. 6: Vmin of EM virus vs NAS (mV)")
+	c.Unit = "mV"
+	c.Add(r.Virus.Name, r.Virus.VminMV)
+	for _, e := range r.NAS {
+		c.Add(e.Name, e.VminMV)
+	}
+	return c
+}
+
+// Fig7Entry is one chip's margin under the EM virus.
+type Fig7Entry struct {
+	Chip string
+	// VirusVminMV is the virus's safe Vmin on the chip's weakest core.
+	VirusVminMV float64
+	// MarginMV is nominal minus the virus Vmin — the shaveable margin
+	// even under pathological noise.
+	MarginMV float64
+}
+
+// Fig7Result exposes inter-chip process variation through the virus.
+type Fig7Result struct {
+	Entries []Fig7Entry
+}
+
+// Fig7InterChip reproduces Fig. 7: the EM virus is crafted and Vmin-tested
+// on each corner chip; the remaining margin below nominal differs sharply
+// across corners (TTT ~60 mV, TFF ~20 mV, TSS ~none).
+func Fig7InterChip(seed uint64, repetitions int) (Fig7Result, error) {
+	var out Fig7Result
+	for _, corner := range silicon.Corners() {
+		srv, err := NewServer(corner, seed)
+		if err != nil {
+			return out, err
+		}
+		fw, err := NewFramework(srv)
+		if err != nil {
+			return out, err
+		}
+		weakest := srv.Chip().WeakestCore()
+		vcfg := viruses.DefaultDIdtConfig()
+		vcfg.Core = weakest
+		vcfg.GA.Seed = seed
+		crafted, err := viruses.CraftDIdt(srv, vcfg)
+		if err != nil {
+			return out, err
+		}
+		profile, err := srv.LoopProfile("didt-virus", crafted.Loop, weakest)
+		if err != nil {
+			return out, err
+		}
+		cfg := core.DefaultVminConfig(profile, core.NominalSetup(weakest))
+		cfg.Repetitions = repetitions
+		cfg.Seed = seed
+		res, err := fw.VminSearch(cfg)
+		if err != nil {
+			return out, err
+		}
+		out.Entries = append(out.Entries, Fig7Entry{
+			Chip:        corner.String(),
+			VirusVminMV: res.SafeVminV * 1000,
+			MarginMV:    (NominalVoltage - res.SafeVminV) * 1000,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the margins.
+func (r Fig7Result) Table() *report.Table {
+	t := report.NewTable("Fig. 7: inter-chip variation under the EM virus",
+		"chip", "virus Vmin", "margin below nominal")
+	for _, e := range r.Entries {
+		t.AddRowf(e.Chip,
+			fmt.Sprintf("%.0fmV", e.VirusVminMV),
+			fmt.Sprintf("%.0fmV", e.MarginMV))
+	}
+	return t
+}
+
+// errNoEntries guards result accessors used by benches.
+var errNoEntries = errors.New("guardband: result has no entries")
+
+// Entry returns the named entry of a Fig. 7 result.
+func (r Fig7Result) Entry(chip string) (Fig7Entry, error) {
+	for _, e := range r.Entries {
+		if e.Chip == chip {
+			return e, nil
+		}
+	}
+	return Fig7Entry{}, errNoEntries
+}

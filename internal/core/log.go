@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The execution phase of the paper's framework streams every run's raw log
+// over serial/network to local and cloud storage; the parsing phase later
+// reads those logs back and classifies them. This file implements that
+// round trip: RunRecords serialize to JSON Lines through a Sink attached
+// to the Framework, and ParseLog re-materializes them for Summarize.
+
+// Sink receives every run record as it is produced.
+type Sink interface {
+	// Record consumes one finished run.
+	Record(rec RunRecord) error
+}
+
+// JSONLSink streams records as JSON Lines to a writer (the spool file or
+// network channel of Fig. 2).
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps a writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Record implements Sink.
+func (s *JSONLSink) Record(rec RunRecord) error {
+	if err := s.enc.Encode(rec); err != nil {
+		return fmt.Errorf("core: encode run record: %w", err)
+	}
+	return nil
+}
+
+var _ Sink = (*JSONLSink)(nil)
+
+// AttachSink registers a sink; every subsequent run is streamed to it in
+// addition to the in-memory record list. Multiple sinks may be attached.
+func (f *Framework) AttachSink(s Sink) error {
+	if s == nil {
+		return errors.New("core: nil sink")
+	}
+	f.sinks = append(f.sinks, s)
+	return nil
+}
+
+// emit fans a record out to the attached sinks.
+func (f *Framework) emit(rec RunRecord) error {
+	for _, s := range f.sinks {
+		if err := s.Record(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseLog reads a JSON Lines spool back into run records — the input of
+// the parsing phase. Blank lines are skipped; a malformed line aborts with
+// its line number.
+func ParseLog(r io.Reader) ([]RunRecord, error) {
+	var out []RunRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return out, fmt.Errorf("core: parse log line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("core: read log: %w", err)
+	}
+	return out, nil
+}

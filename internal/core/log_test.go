@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+)
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	fw, _ := newFramework(t, silicon.TTT, 1)
+	var spool bytes.Buffer
+	if err := fw.AttachSink(NewJSONLSink(&spool)); err != nil {
+		t.Fatal(err)
+	}
+
+	p, _ := workloads.ByName("milc")
+	setup := NominalSetup(silicon.AllCores()...)
+	for rep := 0; rep < 3; rep++ {
+		if _, err := fw.ExecuteRun(p, setup, rep, uint64(rep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Also a failing run to exercise non-OK outcomes in the log.
+	deep := setup
+	deep.PMDVoltage = 0.800
+	if _, err := fw.ExecuteRun(p, deep, 0, 99); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := ParseLog(&spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := fw.Records()
+	if len(parsed) != len(live) {
+		t.Fatalf("parsed %d records, live %d", len(parsed), len(live))
+	}
+	for i := range parsed {
+		if parsed[i].Benchmark != live[i].Benchmark ||
+			parsed[i].Outcome != live[i].Outcome ||
+			parsed[i].Setup.PMDVoltage != live[i].Setup.PMDVoltage ||
+			parsed[i].Repetition != live[i].Repetition ||
+			parsed[i].Recovered != live[i].Recovered {
+			t.Errorf("record %d mismatch:\nparsed %+v\nlive   %+v", i, parsed[i], live[i])
+		}
+	}
+	// The parsing phase must work on re-materialized records.
+	sums := Summarize(parsed)
+	if len(sums) != 2 {
+		t.Errorf("summaries from parsed log = %d, want 2 voltage cells", len(sums))
+	}
+}
+
+func TestAttachSinkNil(t *testing.T) {
+	fw, _ := newFramework(t, silicon.TTT, 1)
+	if err := fw.AttachSink(nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestParseLogSkipsBlankAndRejectsGarbage(t *testing.T) {
+	good := `{"Benchmark":"x","Outcome":"OK"}`
+	recs, err := ParseLog(strings.NewReader(good + "\n\n" + good + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("parsed %d, want 2", len(recs))
+	}
+	if recs[0].Outcome != xgene.OutcomeOK {
+		t.Errorf("outcome = %v", recs[0].Outcome)
+	}
+	if _, err := ParseLog(strings.NewReader("not-json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ParseLog(strings.NewReader(`{"Outcome":"weird"}` + "\n")); err == nil {
+		t.Error("unknown outcome accepted")
+	}
+}
+
+func TestOutcomeJSONAllValues(t *testing.T) {
+	for _, o := range []xgene.Outcome{
+		xgene.OutcomeOK, xgene.OutcomeCE, xgene.OutcomeUE,
+		xgene.OutcomeSDC, xgene.OutcomeCrash, xgene.OutcomeHang,
+	} {
+		b, err := o.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back xgene.Outcome
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != o {
+			t.Errorf("round trip %v -> %s -> %v", o, b, back)
+		}
+	}
+	var o xgene.Outcome
+	if err := o.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("non-string outcome accepted")
+	}
+	if _, err := xgene.ParseOutcome("nope"); err == nil {
+		t.Error("unknown abbreviation accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+)
+
+// VminConfig parameterizes an undervolting (safe-Vmin) search.
+type VminConfig struct {
+	// Benchmark to characterize.
+	Benchmark workloads.Profile
+	// Setup is the base operating point; its PMDVoltage field is the
+	// descent start (usually nominal).
+	Setup Setup
+	// FloorV stops the descent (rails below this are out of SLIMpro range
+	// anyway).
+	FloorV float64
+	// StepV is the descent step (the paper's flow steps 5 mV).
+	StepV float64
+	// Repetitions per voltage (the paper: ten).
+	Repetitions int
+	// Seed drives run-to-run variation.
+	Seed uint64
+}
+
+// DefaultVminConfig returns the paper's search parameters for a benchmark
+// on the given setup.
+func DefaultVminConfig(bench workloads.Profile, setup Setup) VminConfig {
+	return VminConfig{
+		Benchmark:   bench,
+		Setup:       setup,
+		FloorV:      0.70,
+		StepV:       0.005,
+		Repetitions: 10,
+		Seed:        1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c VminConfig) Validate() error {
+	if err := c.Benchmark.Validate(); err != nil {
+		return err
+	}
+	if err := c.Setup.Validate(); err != nil {
+		return err
+	}
+	if c.StepV <= 0 {
+		return errors.New("core: step must be positive")
+	}
+	if c.FloorV <= 0 || c.FloorV >= c.Setup.PMDVoltage {
+		return errors.New("core: floor must sit below the start voltage")
+	}
+	if c.Repetitions <= 0 {
+		return errors.New("core: repetitions must be positive")
+	}
+	return nil
+}
+
+// VminResult reports a completed search.
+type VminResult struct {
+	Benchmark string
+	// SafeVminV is the lowest voltage at which every repetition completed
+	// cleanly.
+	SafeVminV float64
+	// FirstFailV is the highest voltage at which any repetition failed
+	// (0 when the floor was reached without failures).
+	FirstFailV float64
+	// FailureOutcomes counts what was observed at the failing voltage.
+	FailureOutcomes map[xgene.Outcome]int
+	// GuardbandV is the distance from the start (nominal) voltage to
+	// SafeVminV — the margin the paper's study exposes.
+	GuardbandV float64
+	// Records holds every run of the search.
+	Records []RunRecord
+}
+
+// VminSearch performs the paper's undervolting flow: starting from the
+// setup voltage, descend in StepV decrements, running the benchmark
+// Repetitions times at each point; the safe Vmin is the last voltage with
+// all-clean runs. Any non-OK outcome (including corrected errors) stops
+// the descent, since the paper's safe points must not disturb operation.
+func (f *Framework) VminSearch(cfg VminConfig) (VminResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return VminResult{}, err
+	}
+	res := VminResult{
+		Benchmark:       cfg.Benchmark.Name,
+		SafeVminV:       cfg.Setup.PMDVoltage,
+		FailureOutcomes: make(map[xgene.Outcome]int),
+	}
+	startV := cfg.Setup.PMDVoltage
+
+	for v := startV; v >= cfg.FloorV-1e-9; v -= cfg.StepV {
+		setup := cfg.Setup
+		setup.PMDVoltage = roundMV(v)
+		failed := false
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			seed := cfg.Seed ^ uint64(roundMV(v)*1e6) ^ uint64(rep)<<48
+			rec, err := f.ExecuteRun(cfg.Benchmark, setup, rep, seed)
+			if err != nil {
+				return res, fmt.Errorf("core: vmin search at %v: %w", setup.PMDVoltage, err)
+			}
+			res.Records = append(res.Records, rec)
+			if rec.Outcome.IsFailure() {
+				failed = true
+				res.FailureOutcomes[rec.Outcome]++
+				// Keep classifying the remaining repetitions at this
+				// voltage? The paper stops the campaign at first disruption
+				// to protect the flow; we stop the voltage level too.
+				break
+			}
+		}
+		if failed {
+			res.FirstFailV = setup.PMDVoltage
+			break
+		}
+		res.SafeVminV = setup.PMDVoltage
+	}
+	res.GuardbandV = roundMV(startV - res.SafeVminV)
+	return res, nil
+}
+
+// roundMV snaps a voltage to the millivolt grid to avoid float drift in
+// descent loops and map keys.
+func roundMV(v float64) float64 {
+	return float64(int(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,311 @@
+// Package dram models the X-Gene2 server's DDR3 memory system at the level
+// the paper's retention experiments require: 72 Micron-class 4 Gbit devices
+// (4 DIMMs x 2 ranks x 9 devices, the ninth per rank carrying ECC), each
+// with 8 banks of 64K rows, whose weakest cells fail to retain data when
+// the refresh period is relaxed far beyond the nominal 64 ms.
+//
+// Cell retention is modelled with the power-law tail observed in retention
+// studies (Liu et al., ISCA 2013): the probability a cell retains for less
+// than t grows as t^beta. Temperature accelerates leakage exponentially
+// (retention shrinks e-fold every theta degrees), and the stored data
+// pattern matters through cell orientation (true- vs anti-cells only leak
+// when they hold the charged state) and bitline/neighbour coupling. The
+// constants are calibrated so a 35x-relaxed refresh at 50 degC leaves
+// roughly two hundred weak locations per bank across the 72 chips and
+// seventeen-fold more at 60 degC, matching Table I, while nominal refresh
+// leaves none — the guardband the paper measures.
+//
+// Only tail cells are materialized (a few per bank per device); the other
+// ~3*10^11 healthy cells never fail under any condition the experiments
+// reach, so they are represented implicitly.
+package dram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Geometry describes the memory-system topology.
+type Geometry struct {
+	DIMMs          int
+	RanksPerDIMM   int
+	DevicesPerRank int // includes the ECC device
+	BanksPerDevice int
+	RowsPerBank    int
+	ColsPerRow     int
+	BitsPerCol     int // device data width (x8 parts)
+}
+
+// Devices returns the total device (chip) count.
+func (g Geometry) Devices() int { return g.DIMMs * g.RanksPerDIMM * g.DevicesPerRank }
+
+// BitsPerBank returns the number of cells in one bank of one device.
+func (g Geometry) BitsPerBank() int64 {
+	return int64(g.RowsPerBank) * int64(g.ColsPerRow) * int64(g.BitsPerCol)
+}
+
+// TotalBits returns the number of cells in the whole memory system.
+func (g Geometry) TotalBits() int64 {
+	return g.BitsPerBank() * int64(g.BanksPerDevice) * int64(g.Devices())
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.DIMMs <= 0 || g.RanksPerDIMM <= 0 || g.DevicesPerRank <= 0 ||
+		g.BanksPerDevice <= 0 || g.RowsPerBank <= 0 || g.ColsPerRow <= 0 || g.BitsPerCol <= 0 {
+		return errors.New("dram: all geometry fields must be positive")
+	}
+	if g.DevicesPerRank*g.BitsPerCol != 72 {
+		return fmt.Errorf("dram: rank width %d bits, SECDED layout requires 72",
+			g.DevicesPerRank*g.BitsPerCol)
+	}
+	return nil
+}
+
+// RetentionModel holds the calibrated retention-physics constants.
+type RetentionModel struct {
+	// DensityA is the tail coefficient: P(retention@RefTempC < t) = A * t^Beta.
+	DensityA float64
+	// Beta is the power-law tail exponent.
+	Beta float64
+	// ThetaC is the temperature constant: retention shrinks e-fold per
+	// ThetaC degrees above RefTempC.
+	ThetaC float64
+	// RefTempC is the temperature at which cell retention values are stored.
+	RefTempC float64
+	// TailCapS is the largest retention (seconds, at RefTempC) materialized
+	// as an explicit weak cell; conditions needing longer-retention cells to
+	// fail are outside the model's calibrated envelope.
+	TailCapS float64
+	// CouplingStrength scales how much a worst-case neighbour pattern
+	// reduces effective retention (retention / (1 + strength*stress)).
+	CouplingStrength float64
+	// VRTFraction is the fraction of weak cells showing variable retention
+	// time: they toggle between their base retention and VRTFactor x less,
+	// run to run.
+	VRTFraction float64
+	// VRTFactor is the retention reduction in the VRT-active state.
+	VRTFactor float64
+}
+
+// Config assembles a full memory-system model description.
+type Config struct {
+	Geometry  Geometry
+	Retention RetentionModel
+	// NominalTREFP is the manufacturer refresh period.
+	NominalTREFP time.Duration
+}
+
+// DefaultConfig returns the paper's memory system: 32 GB of DDR3 as
+// 4 DIMMs x 2 ranks x (8+1) x8 4Gbit devices, with retention physics
+// calibrated to Table I (see package comment).
+func DefaultConfig() Config {
+	return Config{
+		Geometry: Geometry{
+			DIMMs:          4,
+			RanksPerDIMM:   2,
+			DevicesPerRank: 9,
+			BanksPerDevice: 8,
+			RowsPerBank:    65536,
+			ColsPerRow:     1024,
+			BitsPerCol:     8,
+		},
+		Retention: RetentionModel{
+			DensityA:         2.8e-11,
+			Beta:             2.5,
+			ThetaC:           8.72,
+			RefTempC:         40,
+			TailCapS:         60,
+			CouplingStrength: 0.35,
+			VRTFraction:      0.02,
+			VRTFactor:        2.0,
+		},
+		NominalTREFP: 64 * time.Millisecond,
+	}
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	r := c.Retention
+	if r.DensityA <= 0 || r.Beta <= 0 || r.ThetaC <= 0 || r.TailCapS <= 0 {
+		return errors.New("dram: retention model constants must be positive")
+	}
+	if r.CouplingStrength < 0 || r.VRTFraction < 0 || r.VRTFraction > 1 || r.VRTFactor < 1 {
+		return errors.New("dram: coupling/VRT parameters out of range")
+	}
+	if c.NominalTREFP <= 0 {
+		return errors.New("dram: non-positive nominal refresh period")
+	}
+	return nil
+}
+
+// WeakCell is one materialized tail cell of a device bank.
+type WeakCell struct {
+	Row uint32
+	Col uint16
+	Bit uint8
+	// Ret40 is the cell's retention time in seconds at the model's
+	// reference temperature, under a benign (uncoupled) neighbourhood.
+	Ret40 float64
+	// TrueCell is true when the cell stores logical 1 as charge (so it can
+	// only leak — and fail — while holding a 1). Anti-cells are the
+	// opposite.
+	TrueCell bool
+	// CoupleSens in [0,1] scales the cell's sensitivity to neighbour
+	// coupling stress.
+	CoupleSens float64
+	// VRT marks a variable-retention-time cell.
+	VRT bool
+}
+
+// bank holds the weak-cell population of one device bank.
+type bank struct {
+	weak []WeakCell
+}
+
+// device is one DRAM chip.
+type device struct {
+	banks []bank
+}
+
+// Module is the full fabricated memory system.
+type Module struct {
+	cfg Config
+	// dimmTempC is the current regulated temperature of each DIMM.
+	dimmTempC []float64
+	// devices indexed [dimm][rank][dev].
+	devices [][][]*device
+
+	weakTotal int
+}
+
+// NewModule fabricates a memory system. The same (config, seed) always
+// produces the identical weak-cell population.
+func NewModule(cfg Config, seed uint64) (*Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(seed).Split("dram/fab")
+	g := cfg.Geometry
+	r := cfg.Retention
+
+	// Expected weak cells per device bank: bits * A * TailCap^Beta.
+	lambda := float64(g.BitsPerBank()) * r.DensityA * math.Pow(r.TailCapS, r.Beta)
+
+	m := &Module{
+		cfg:       cfg,
+		dimmTempC: make([]float64, g.DIMMs),
+		devices:   make([][][]*device, g.DIMMs),
+	}
+	for d := range m.dimmTempC {
+		m.dimmTempC[d] = 30 // ambient until the testbed sets a target
+	}
+	// Bank-address-dependent density variation shared across devices
+	// (array layout/peripheral differences by bank position); this is the
+	// systematic component behind Table I's bank-to-bank spread that
+	// survives averaging over 72 chips.
+	bankIdxRng := root.Split("bankidx")
+	bankIdxMult := make([]float64, g.BanksPerDevice)
+	for i := range bankIdxMult {
+		bankIdxMult[i] = math.Exp(bankIdxRng.NormMS(0, 0.04))
+	}
+	for di := 0; di < g.DIMMs; di++ {
+		m.devices[di] = make([][]*device, g.RanksPerDIMM)
+		for ri := 0; ri < g.RanksPerDIMM; ri++ {
+			m.devices[di][ri] = make([]*device, g.DevicesPerRank)
+			for vi := 0; vi < g.DevicesPerRank; vi++ {
+				dev := &device{banks: make([]bank, g.BanksPerDevice)}
+				devRng := root.Split(fmt.Sprintf("dev/%d/%d/%d", di, ri, vi))
+				for bi := 0; bi < g.BanksPerDevice; bi++ {
+					// Per-device random density variation on top of the
+					// shared bank-index component and Poisson statistics.
+					mult := bankIdxMult[bi] * math.Exp(devRng.NormMS(0, 0.06))
+					n := devRng.Poisson(lambda * mult)
+					cells := make([]WeakCell, 0, n)
+					for k := 0; k < n; k++ {
+						// Inverse-CDF sample of the t^beta tail on (0, cap].
+						ret := r.TailCapS * math.Pow(devRng.Float64(), 1/r.Beta)
+						cells = append(cells, WeakCell{
+							Row:        uint32(devRng.Intn(g.RowsPerBank)),
+							Col:        uint16(devRng.Intn(g.ColsPerRow)),
+							Bit:        uint8(devRng.Intn(g.BitsPerCol)),
+							Ret40:      ret,
+							TrueCell:   devRng.Bool(),
+							CoupleSens: devRng.Float64(),
+							VRT:        devRng.Float64() < r.VRTFraction,
+						})
+					}
+					dev.banks[bi] = bank{weak: cells}
+					m.weakTotal += n
+				}
+				m.devices[di][ri][vi] = dev
+			}
+		}
+	}
+	return m, nil
+}
+
+// Config returns the module's configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// WeakCellCount returns the total number of materialized tail cells.
+func (m *Module) WeakCellCount() int { return m.weakTotal }
+
+// SetDIMMTemp sets the regulated temperature of one DIMM (both ranks).
+func (m *Module) SetDIMMTemp(dimm int, tempC float64) error {
+	if dimm < 0 || dimm >= len(m.dimmTempC) {
+		return fmt.Errorf("dram: DIMM %d out of range", dimm)
+	}
+	if tempC < -20 || tempC > 120 {
+		return fmt.Errorf("dram: temperature %v degC out of modelled range", tempC)
+	}
+	m.dimmTempC[dimm] = tempC
+	return nil
+}
+
+// SetAllTemps sets every DIMM to the same temperature.
+func (m *Module) SetAllTemps(tempC float64) error {
+	for d := range m.dimmTempC {
+		if err := m.SetDIMMTemp(d, tempC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DIMMTemp returns the current temperature of a DIMM.
+func (m *Module) DIMMTemp(dimm int) (float64, error) {
+	if dimm < 0 || dimm >= len(m.dimmTempC) {
+		return 0, fmt.Errorf("dram: DIMM %d out of range", dimm)
+	}
+	return m.dimmTempC[dimm], nil
+}
+
+// EffectiveRetention returns a cell's retention time (seconds) at the given
+// temperature and coupling stress, in the given VRT state.
+func (m *Module) EffectiveRetention(c WeakCell, tempC, stress float64, vrtActive bool) float64 {
+	r := m.cfg.Retention
+	ret := c.Ret40 * math.Exp(-(tempC-r.RefTempC)/r.ThetaC)
+	ret /= 1 + r.CouplingStrength*c.CoupleSens*clamp01(stress)
+	if c.VRT && vrtActive {
+		ret /= r.VRTFactor
+	}
+	return ret
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,182 @@
+package dram
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Retention-time profiling, the methodology of Liu et al. (ISCA 2013) that
+// the paper's DPBench flow builds on: scan the memory at a ladder of
+// refresh periods and bracket each weak cell's retention time between the
+// largest period at which it held data and the smallest at which it
+// failed. Deployments use such profiles to pick per-module safe refresh
+// periods tighter than the worst-case guardband.
+
+// RetentionBin is one rung of a measured retention profile.
+type RetentionBin struct {
+	// TREFP is the refresh period of this rung.
+	TREFP time.Duration
+	// NewFailures counts cells that first failed at this rung (their
+	// retention is bracketed between the previous rung and this one).
+	NewFailures int
+	// CumulativeFailures counts all cells failing at or before this rung.
+	CumulativeFailures int
+}
+
+// RetentionProfile is the outcome of a multi-TREFP profiling campaign.
+type RetentionProfile struct {
+	Bins []RetentionBin
+	// Pattern used for the scans.
+	Pattern Pattern
+	// TempC is the regulated temperature during profiling.
+	TempC float64
+}
+
+// ProfileRetention scans the module at each refresh period (ascending) and
+// brackets weak-cell retention times. Periods must be strictly increasing.
+// The scan uses the given pattern and a fixed run seed so VRT state is
+// held constant across rungs (profiling runs back-to-back).
+func (m *Module) ProfileRetention(p Pattern, trefps []time.Duration, runSeed uint64) (*RetentionProfile, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trefps) < 2 {
+		return nil, errors.New("dram: profiling needs at least two refresh periods")
+	}
+	for i := 1; i < len(trefps); i++ {
+		if trefps[i] <= trefps[i-1] {
+			return nil, fmt.Errorf("dram: refresh periods must increase (index %d)", i)
+		}
+	}
+	prof := &RetentionProfile{Pattern: p, TempC: m.dimmTempC[0]}
+	seen := make(map[CellAddr]bool)
+	for _, trefp := range trefps {
+		res, err := m.ScanPattern(p, trefp, runSeed)
+		if err != nil {
+			return nil, err
+		}
+		newHere := 0
+		for _, f := range res.Failures {
+			if !seen[f] {
+				seen[f] = true
+				newHere++
+			}
+		}
+		prof.Bins = append(prof.Bins, RetentionBin{
+			TREFP:              trefp,
+			NewFailures:        newHere,
+			CumulativeFailures: len(seen),
+		})
+	}
+	return prof, nil
+}
+
+// SafeTREFP returns the largest profiled refresh period whose cumulative
+// failure count stays at or below maxFailures (0 demands a clean rung).
+// It returns an error if even the smallest rung exceeds the budget.
+func (p *RetentionProfile) SafeTREFP(maxFailures int) (time.Duration, error) {
+	if len(p.Bins) == 0 {
+		return 0, errors.New("dram: empty profile")
+	}
+	best := time.Duration(0)
+	for _, b := range p.Bins {
+		if b.CumulativeFailures <= maxFailures {
+			best = b.TREFP
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("dram: every profiled period exceeds %d failures", maxFailures)
+	}
+	return best, nil
+}
+
+// VRTStudy quantifies variable retention time: repeated scans at identical
+// conditions produce slightly different failing sets because VRT cells
+// toggle between retention states. It reports the Jaccard similarity of
+// consecutive failing sets — 1.0 would mean perfectly stable cells.
+type VRTStudy struct {
+	Runs int
+	// MeanJaccard is the average |A∩B|/|A∪B| over consecutive run pairs.
+	MeanJaccard float64
+	// StableCells appear in every run; FlickerCells in some but not all.
+	StableCells, FlickerCells int
+}
+
+// StudyVRT runs n identical scans with distinct run seeds and measures the
+// overlap of their failing sets.
+func (m *Module) StudyVRT(p Pattern, trefp time.Duration, n int, baseSeed uint64) (*VRTStudy, error) {
+	if n < 2 {
+		return nil, errors.New("dram: VRT study needs at least two runs")
+	}
+	sets := make([]map[CellAddr]bool, 0, n)
+	counts := make(map[CellAddr]int)
+	for i := 0; i < n; i++ {
+		res, err := m.ScanPattern(p, trefp, baseSeed+uint64(i)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[CellAddr]bool, len(res.Failures))
+		for _, f := range res.Failures {
+			set[f] = true
+			counts[f]++
+		}
+		sets = append(sets, set)
+	}
+	var jSum float64
+	for i := 1; i < n; i++ {
+		jSum += jaccard(sets[i-1], sets[i])
+	}
+	st := &VRTStudy{Runs: n, MeanJaccard: jSum / float64(n-1)}
+	for _, c := range counts {
+		if c == n {
+			st.StableCells++
+		} else {
+			st.FlickerCells++
+		}
+	}
+	return st, nil
+}
+
+// jaccard computes |a∩b| / |a∪b|.
+func jaccard(a, b map[CellAddr]bool) float64 {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// PerDIMMFailures groups a scan's failures by DIMM index — the view the
+// thermal-gradient experiment needs.
+func (r *ScanResult) PerDIMMFailures(dimms int) []int {
+	out := make([]int, dimms)
+	for _, f := range r.Failures {
+		if f.DIMM >= 0 && f.DIMM < dimms {
+			out[f.DIMM]++
+		}
+	}
+	return out
+}
+
+// SortedTREFPs is a convenience for building profiling ladders: it returns
+// the durations sorted ascending with duplicates removed.
+func SortedTREFPs(ds ...time.Duration) []time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	out := ds[:0]
+	var prev time.Duration = -1
+	for _, d := range ds {
+		if d != prev {
+			out = append(out, d)
+			prev = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProfileRetentionBrackets(t *testing.T) {
+	m := defaultModule(t)
+	if err := m.SetAllTemps(60); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPattern(RandomPattern)
+	ladder := SortedTREFPs(
+		128*time.Millisecond,
+		512*time.Millisecond,
+		2283*time.Millisecond,
+		8*time.Second,
+	)
+	prof, err := m.ProfileRetention(p, ladder, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Bins) != 4 {
+		t.Fatalf("bins = %d, want 4", len(prof.Bins))
+	}
+	// Cumulative counts must be non-decreasing and consistent with news.
+	cum := 0
+	for i, b := range prof.Bins {
+		cum += b.NewFailures
+		if b.CumulativeFailures != cum {
+			t.Errorf("bin %d cumulative %d != running sum %d", i, b.CumulativeFailures, cum)
+		}
+		if i > 0 && b.CumulativeFailures < prof.Bins[i-1].CumulativeFailures {
+			t.Errorf("cumulative failures decreased at bin %d", i)
+		}
+	}
+	// The power-law tail: each longer rung exposes more cells.
+	if prof.Bins[3].CumulativeFailures <= prof.Bins[1].CumulativeFailures {
+		t.Error("longer refresh periods did not expose more weak cells")
+	}
+}
+
+func TestProfileRetentionErrors(t *testing.T) {
+	m, err := NewModule(smallConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPattern(RandomPattern)
+	if _, err := m.ProfileRetention(p, []time.Duration{time.Second}, 1); err == nil {
+		t.Error("single rung accepted")
+	}
+	if _, err := m.ProfileRetention(p, []time.Duration{2 * time.Second, time.Second}, 1); err == nil {
+		t.Error("non-increasing ladder accepted")
+	}
+	bad := Pattern{Kind: PatternKind(0), Rounds: 1}
+	if _, err := m.ProfileRetention(bad, []time.Duration{time.Second, 2 * time.Second}, 1); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestSafeTREFPSelection(t *testing.T) {
+	prof := &RetentionProfile{Bins: []RetentionBin{
+		{TREFP: 128 * time.Millisecond, CumulativeFailures: 0},
+		{TREFP: 512 * time.Millisecond, CumulativeFailures: 3},
+		{TREFP: 2 * time.Second, CumulativeFailures: 40},
+	}}
+	v, err := prof.SafeTREFP(0)
+	if err != nil || v != 128*time.Millisecond {
+		t.Errorf("clean rung = %v, %v", v, err)
+	}
+	v, err = prof.SafeTREFP(10)
+	if err != nil || v != 512*time.Millisecond {
+		t.Errorf("budget-10 rung = %v, %v", v, err)
+	}
+	prof.Bins[0].CumulativeFailures = 5
+	if _, err := prof.SafeTREFP(1); err == nil {
+		t.Error("unreachable budget accepted")
+	}
+	empty := &RetentionProfile{}
+	if _, err := empty.SafeTREFP(0); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestStudyVRTShowsFlicker(t *testing.T) {
+	m := defaultModule(t)
+	if err := m.SetAllTemps(60); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPattern(RandomPattern)
+	st, err := m.StudyVRT(p, 2283*time.Millisecond, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most weak cells are stable, but the VRT population (5% of weak
+	// cells, only exposed when near the failure boundary) flickers.
+	if st.MeanJaccard < 0.90 || st.MeanJaccard >= 1.0 {
+		t.Errorf("mean Jaccard = %v, want high-but-imperfect overlap", st.MeanJaccard)
+	}
+	if st.FlickerCells == 0 {
+		t.Error("no VRT flicker observed across identical scans")
+	}
+	if st.StableCells == 0 {
+		t.Error("no stable weak cells observed")
+	}
+	if st.StableCells < 10*st.FlickerCells/2 {
+		t.Errorf("flicker population implausibly large: %d stable vs %d flicker",
+			st.StableCells, st.FlickerCells)
+	}
+}
+
+func TestStudyVRTErrors(t *testing.T) {
+	m, err := NewModule(smallConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPattern(RandomPattern)
+	if _, err := m.StudyVRT(p, time.Second, 1, 1); err == nil {
+		t.Error("single-run study accepted")
+	}
+}
+
+func TestPerDIMMFailures(t *testing.T) {
+	r := &ScanResult{Failures: []CellAddr{
+		{DIMM: 0}, {DIMM: 0}, {DIMM: 2}, {DIMM: 3},
+	}}
+	got := r.PerDIMMFailures(4)
+	want := []int{2, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dimm %d count = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortedTREFPs(t *testing.T) {
+	got := SortedTREFPs(3*time.Second, time.Second, 2*time.Second, time.Second)
+	if len(got) != 3 || got[0] != time.Second || got[2] != 3*time.Second {
+		t.Errorf("SortedTREFPs = %v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[CellAddr]bool{{Row: 1}: true, {Row: 2}: true}
+	b := map[CellAddr]bool{{Row: 2}: true, {Row: 3}: true}
+	if j := jaccard(a, b); j != 1.0/3 {
+		t.Errorf("jaccard = %v, want 1/3", j)
+	}
+	if j := jaccard(map[CellAddr]bool{}, map[CellAddr]bool{}); j != 1 {
+		t.Errorf("empty jaccard = %v, want 1", j)
+	}
+}
+
+func TestEffectiveRetentionMonotoneProperties(t *testing.T) {
+	m, err := NewModule(smallConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(retRaw, tempRaw, stressRaw uint8) bool {
+		cell := WeakCell{Ret40: 1 + float64(retRaw)/8, TrueCell: true, CoupleSens: 1}
+		temp := 30 + float64(tempRaw%50)
+		stress := float64(stressRaw) / 255
+		base := m.EffectiveRetention(cell, temp, stress, false)
+		// Hotter is always shorter.
+		if m.EffectiveRetention(cell, temp+5, stress, false) >= base {
+			return false
+		}
+		// More coupling stress is always shorter or equal.
+		if m.EffectiveRetention(cell, temp, stress, false) >
+			m.EffectiveRetention(cell, temp, 0, false) {
+			return false
+		}
+		// Retention stays positive.
+		return base > 0
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanFailuresMonotoneInTREFP(t *testing.T) {
+	// Property over the ladder: a longer refresh period can only expose a
+	// superset of weak cells (with fixed VRT state).
+	m := defaultModule(t)
+	_ = m.SetAllTemps(55)
+	p, _ := NewPattern(RandomPattern)
+	prev := -1
+	for _, trefp := range []time.Duration{
+		200 * time.Millisecond, 800 * time.Millisecond,
+		2283 * time.Millisecond, 6 * time.Second,
+	} {
+		res, err := m.ScanPattern(p, trefp, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failures) < prev {
+			t.Fatalf("failures decreased at %v: %d < %d", trefp, len(res.Failures), prev)
+		}
+		prev = len(res.Failures)
+	}
+}

@@ -1,0 +1,313 @@
+package dram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ecc"
+	"repro/internal/xrand"
+)
+
+// ExpectedFailureUpperBound returns a cheap analytic over-estimate of the
+// expected number of manifested retention failures for a full-memory scan
+// at the given refresh period and the hottest current DIMM temperature,
+// assuming worst-case pattern stress everywhere. Callers (the execution
+// engine) use it to skip the cell-level scan when the bound is negligible —
+// which is every CPU campaign at nominal refresh.
+func (m *Module) ExpectedFailureUpperBound(trefp time.Duration) float64 {
+	r := m.cfg.Retention
+	maxTemp := m.dimmTempC[0]
+	for _, t := range m.dimmTempC[1:] {
+		if t > maxTemp {
+			maxTemp = t
+		}
+	}
+	// A cell fails when Ret40 < trefp * tempAccel * (1 + coupling); the
+	// tail CDF is A * x^beta. VRT can halve retention, fold it in.
+	thr := trefp.Seconds() * math.Exp((maxTemp-r.RefTempC)/r.ThetaC) *
+		(1 + r.CouplingStrength) * r.VRTFactor
+	p := r.DensityA * math.Pow(thr, r.Beta)
+	return p * float64(m.cfg.Geometry.TotalBits())
+}
+
+// CellAddr is the full address of a failed cell.
+type CellAddr struct {
+	DIMM, Rank, Device, Bank int
+	Row                      uint32
+	Col                      uint16
+	Bit                      uint8
+}
+
+// String formats the address for logs.
+func (a CellAddr) String() string {
+	return fmt.Sprintf("dimm%d.r%d.d%d.b%d[row=%d col=%d bit=%d]",
+		a.DIMM, a.Rank, a.Device, a.Bank, a.Row, a.Col, a.Bit)
+}
+
+// ScanResult reports the outcome of one full write-wait-read campaign.
+type ScanResult struct {
+	// Failures lists every unique cell whose data flipped during the scan.
+	Failures []CellAddr
+	// PerBank counts unique failed locations by bank index, aggregated
+	// across all devices (Table I's view of the data).
+	PerBank []int
+	// CE, UE and SDC count the ECC outcome of every corrupted codeword.
+	CE, UE, SDC int
+	// ScannedBits is the number of cells covered by the scan.
+	ScannedBits int64
+	// BER is raw bit failures / scanned bits (before correction).
+	BER float64
+}
+
+// ScanPattern runs a DPBench over the entire memory system: write the
+// pattern, idle for the refresh period at each DIMM's regulated
+// temperature, read back, and classify every corrupted 72-bit codeword
+// through the real SECDED decoder. runSeed drives run-to-run variation
+// (VRT state); the same (module, pattern, trefp, runSeed) reproduces the
+// identical result.
+func (m *Module) ScanPattern(p Pattern, trefp time.Duration, runSeed uint64) (*ScanResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if trefp <= 0 {
+		return nil, errors.New("dram: non-positive refresh period")
+	}
+	fails := m.collectFailures(p, trefp, runSeed, nil)
+	res := m.buildResult(fails, m.cfg.Geometry.TotalBits(), runSeed)
+	return res, nil
+}
+
+// WorkloadMem describes the memory behaviour of a real application, the
+// features that determine its retention-error exposure (Fig. 8a).
+type WorkloadMem struct {
+	// FootprintBytes is the resident data size.
+	FootprintBytes int64
+	// HotFraction is the fraction of the footprint re-accessed frequently.
+	HotFraction float64
+	// ReuseInterval is the typical re-access period of hot rows; touching
+	// a row restores its charge (implicit refresh), so hot rows only fail
+	// if their retention is shorter than this interval.
+	ReuseInterval time.Duration
+	// RandomDataFrac is the fraction of the footprint holding high-entropy
+	// data; the rest is zero-ish (calloc'd buffers, sparse structures).
+	RandomDataFrac float64
+}
+
+// Validate reports parameter errors.
+func (w WorkloadMem) Validate() error {
+	if w.FootprintBytes <= 0 {
+		return errors.New("dram: non-positive footprint")
+	}
+	if w.HotFraction < 0 || w.HotFraction > 1 || w.RandomDataFrac < 0 || w.RandomDataFrac > 1 {
+		return errors.New("dram: fractions must be in [0,1]")
+	}
+	if w.ReuseInterval < 0 {
+		return errors.New("dram: negative reuse interval")
+	}
+	return nil
+}
+
+// ScanWorkload evaluates retention errors manifested in a workload's
+// memory during execution under the given refresh period. Only cells
+// inside the workload footprint can corrupt its output; hot rows are
+// implicitly refreshed by accesses.
+func (m *Module) ScanWorkload(w WorkloadMem, trefp time.Duration, runSeed uint64) (*ScanResult, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if trefp <= 0 {
+		return nil, errors.New("dram: non-positive refresh period")
+	}
+	total := m.cfg.Geometry.TotalBits()
+	footBits := w.FootprintBytes * 8
+	if footBits > total {
+		footBits = total
+	}
+	footFrac := float64(footBits) / float64(total)
+
+	fails := m.collectFailures(Pattern{Kind: RandomPattern, Rounds: 1, Seed: runSeed}, trefp, runSeed, &workloadFilter{
+		mem:      w,
+		footFrac: footFrac,
+		seed:     runSeed,
+	})
+	res := m.buildResult(fails, footBits, runSeed)
+	return res, nil
+}
+
+// workloadFilter restricts a scan to a workload's footprint and models its
+// data contents and access recency.
+type workloadFilter struct {
+	mem      WorkloadMem
+	footFrac float64
+	seed     uint64
+}
+
+// collectFailures is the shared scan core. When wf is nil the scan covers
+// all memory with the given pattern; otherwise the workload filter decides
+// residency, stored data and effective refresh per cell.
+func (m *Module) collectFailures(p Pattern, trefp time.Duration, runSeed uint64, wf *workloadFilter) []CellAddr {
+	g := m.cfg.Geometry
+	vrtRng := xrand.New(runSeed).Split("dram/vrt")
+	trefpS := trefp.Seconds()
+
+	var fails []CellAddr
+	for di := 0; di < g.DIMMs; di++ {
+		temp := m.dimmTempC[di]
+		for ri := 0; ri < g.RanksPerDIMM; ri++ {
+			for vi := 0; vi < g.DevicesPerRank; vi++ {
+				dev := m.devices[di][ri][vi]
+				for bi := range dev.banks {
+					for _, c := range dev.banks[bi].weak {
+						key := cellKey(di, ri, vi, bi, c)
+						vrtActive := c.VRT && vrtRng.Bool()
+
+						if wf != nil {
+							if m.workloadCellFails(wf, key, c, temp, trefpS, vrtActive) {
+								fails = append(fails, CellAddr{
+									DIMM: di, Rank: ri, Device: vi, Bank: bi,
+									Row: c.Row, Col: c.Col, Bit: c.Bit,
+								})
+							}
+							continue
+						}
+
+						failed := false
+						for round := 0; round < p.Rounds && !failed; round++ {
+							stored := p.storedBit(key, c, round)
+							// A cell only leaks while holding its charged
+							// state: true-cells charged storing 1,
+							// anti-cells charged storing 0.
+							if stored != c.TrueCell {
+								continue
+							}
+							stress := p.stress(key, c, round)
+							if m.EffectiveRetention(c, temp, stress, vrtActive) < trefpS {
+								failed = true
+							}
+						}
+						if failed {
+							fails = append(fails, CellAddr{
+								DIMM: di, Rank: ri, Device: vi, Bank: bi,
+								Row: c.Row, Col: c.Col, Bit: c.Bit,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return fails
+}
+
+// workloadCellFails decides whether a weak cell corrupts workload data.
+func (m *Module) workloadCellFails(wf *workloadFilter, key uint64, c WeakCell, temp, trefpS float64, vrtActive bool) bool {
+	// Residency: is this cell inside the workload's footprint?
+	if hash01(key^0x5bd1e995) >= wf.footFrac {
+		return false
+	}
+	// Stored data: high-entropy region stores either bit with p=0.5 and
+	// imposes sampled coupling stress; zero region stores 0 with baseline
+	// stress.
+	var stored bool
+	var stress float64
+	if hash01(key^0x7fb5d329^wf.seed) < wf.mem.RandomDataFrac {
+		stored = hash01(key^0x1b873593^wf.seed) < 0.5
+		stress = hash01(key ^ 0x85ebca6b ^ wf.seed)
+	} else {
+		stored = false
+		stress = 0.15
+	}
+	if stored != c.TrueCell {
+		return false
+	}
+	// Access recency: hot rows are implicitly refreshed at the reuse
+	// interval; cold rows wait the full refresh period.
+	interval := trefpS
+	if hash01(key^0xc2b2ae35) < wf.mem.HotFraction {
+		reuse := wf.mem.ReuseInterval.Seconds()
+		if reuse > 0 && reuse < interval {
+			interval = reuse
+		}
+	}
+	return m.EffectiveRetention(c, temp, stress, vrtActive) < interval
+}
+
+// buildResult aggregates failures into Table-I/Fig-8 form and pushes every
+// corrupted codeword through the real SECDED decoder.
+func (m *Module) buildResult(fails []CellAddr, scannedBits int64, runSeed uint64) *ScanResult {
+	g := m.cfg.Geometry
+	res := &ScanResult{
+		Failures:    fails,
+		PerBank:     make([]int, g.BanksPerDevice),
+		ScannedBits: scannedBits,
+	}
+	for _, f := range fails {
+		res.PerBank[f.Bank]++
+	}
+	if scannedBits > 0 {
+		res.BER = float64(len(fails)) / float64(scannedBits)
+	}
+
+	// Group failures into 72-bit codewords: one codeword per
+	// (dimm, rank, bank, row, col) spanning the 9 devices of the rank.
+	type cwKey struct {
+		dimm, rank, bank int
+		row              uint32
+		col              uint16
+	}
+	byCW := make(map[cwKey][]CellAddr)
+	for _, f := range fails {
+		k := cwKey{f.DIMM, f.Rank, f.Bank, f.Row, f.Col}
+		byCW[k] = append(byCW[k], f)
+	}
+	dataRng := xrand.New(runSeed).Split("dram/cwdata")
+	for _, cells := range byCW {
+		switch len(cells) {
+		case 1:
+			res.CE++
+		default:
+			// Rebuild the actual codeword and decode: double flips are
+			// detected (UE); triple and beyond may alias (SDC).
+			golden := dataRng.Uint64()
+			cw := ecc.Encode(golden)
+			for _, f := range cells {
+				pos := f.Device*g.BitsPerCol + int(f.Bit) + 1 // 1-based position
+				cw = cw.FlipBit(pos)
+			}
+			switch _, outcome := ecc.Verify(cw, golden); outcome {
+			case ecc.Corrected, ecc.OK:
+				// Flips cancelled or aliased to a correctable pattern that
+				// restored the data; nothing observable.
+				res.CE++
+			case ecc.Detected:
+				res.UE++
+			case ecc.Miscorrected:
+				res.SDC++
+			}
+		}
+	}
+	return res
+}
+
+// UniqueBankSpread returns (max-min)/min over the per-bank unique error
+// location counts — the paper's bank-to-bank variation metric.
+func (r *ScanResult) UniqueBankSpread() float64 {
+	if len(r.PerBank) == 0 {
+		return 0
+	}
+	mn, mx := r.PerBank[0], r.PerBank[0]
+	for _, v := range r.PerBank[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mn == 0 {
+		return 0
+	}
+	return float64(mx-mn) / float64(mn)
+}

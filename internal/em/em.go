@@ -1,0 +1,70 @@
+// Package em models sensing CPU voltage noise through electromagnetic
+// emanations, the measurement technique (Hadjilambrou et al., IEEE CAL 2017)
+// the paper uses because the X-Gene2 provides no fine-grained on-chip
+// voltage telemetry.
+//
+// Physically, the radiated EM amplitude near the package tracks the
+// high-frequency supply-current switching, which is the same quantity that
+// produces resonant voltage droop. The paper validates EM amplitude only as
+// a *monotone proxy* of droop (proven afterwards by Vmin testing), so the
+// model is a gain plus measurement noise: strong enough for a genetic
+// algorithm to climb, noisy enough that single samples are unreliable —
+// which is why the search averages several probe readings per candidate.
+package em
+
+import (
+	"errors"
+
+	"repro/internal/xrand"
+)
+
+// Probe is a near-field EM probe placed over the SoC package.
+type Probe struct {
+	// GainUVPerMV converts millivolts of supply droop into microvolts of
+	// received EM amplitude.
+	GainUVPerMV float64
+	// NoiseUV is the standard deviation of per-sample measurement noise
+	// (probe positioning, ambient RF, spectrum-analyzer floor).
+	NoiseUV float64
+	// FloorUV is the receiver noise floor: readings never drop below it.
+	FloorUV float64
+
+	rng *xrand.Stream
+}
+
+// NewProbe returns a probe with the calibrated default gain and noise,
+// seeded deterministically.
+func NewProbe(seed uint64) *Probe {
+	return &Probe{
+		GainUVPerMV: 12.0,
+		NoiseUV:     6.0,
+		FloorUV:     2.0,
+		rng:         xrand.New(seed).Split("em/probe"),
+	}
+}
+
+// Measure returns one EM amplitude sample (microvolts) for a workload that
+// induces the given supply droop.
+func (p *Probe) Measure(droopMV float64) float64 {
+	if droopMV < 0 {
+		droopMV = 0
+	}
+	v := p.GainUVPerMV*droopMV + p.rng.NormMS(0, p.NoiseUV)
+	if v < p.FloorUV {
+		v = p.FloorUV
+	}
+	return v
+}
+
+// MeasureAvg averages n samples, the way the virus-crafting flow evaluates
+// each candidate loop. It returns an error for non-positive n.
+func (p *Probe) MeasureAvg(droopMV float64, n int) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("em: sample count must be positive")
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Measure(droopMV)
+	}
+	return sum / float64(n), nil
+}

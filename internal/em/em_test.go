@@ -1,0 +1,80 @@
+package em
+
+import (
+	"testing"
+)
+
+func TestMeasureTracksDroop(t *testing.T) {
+	p := NewProbe(1)
+	lo, err := p.MeasureAvg(10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := p.MeasureAvg(50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("EM amplitude not monotone in droop: %v vs %v", lo, hi)
+	}
+	// Averaged gain should be close to the configured gain.
+	slope := (hi - lo) / 40
+	if slope < p.GainUVPerMV*0.9 || slope > p.GainUVPerMV*1.1 {
+		t.Errorf("effective gain %v far from configured %v", slope, p.GainUVPerMV)
+	}
+}
+
+func TestMeasureNeverBelowFloor(t *testing.T) {
+	p := NewProbe(2)
+	for i := 0; i < 1000; i++ {
+		if v := p.Measure(0); v < p.FloorUV {
+			t.Fatalf("reading %v below floor %v", v, p.FloorUV)
+		}
+	}
+}
+
+func TestNegativeDroopClamped(t *testing.T) {
+	p := NewProbe(3)
+	v, err := p.MeasureAvg(-100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > p.FloorUV+3*p.NoiseUV {
+		t.Errorf("negative droop produced large amplitude %v", v)
+	}
+}
+
+func TestMeasureAvgErrors(t *testing.T) {
+	p := NewProbe(4)
+	if _, err := p.MeasureAvg(10, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := p.MeasureAvg(10, -1); err == nil {
+		t.Error("negative samples accepted")
+	}
+}
+
+func TestDeterministicAcrossProbes(t *testing.T) {
+	a := NewProbe(7)
+	b := NewProbe(7)
+	for i := 0; i < 100; i++ {
+		if a.Measure(20) != b.Measure(20) {
+			t.Fatal("same-seed probes diverged")
+		}
+	}
+}
+
+func TestNoiseIsPresent(t *testing.T) {
+	p := NewProbe(8)
+	first := p.Measure(20)
+	varies := false
+	for i := 0; i < 20; i++ {
+		if p.Measure(20) != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("probe readings show no measurement noise")
+	}
+}

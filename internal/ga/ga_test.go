@@ -1,0 +1,197 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// bitstringOps returns operators for a max-ones style problem over n bits,
+// with fitness = count of set bits (optionally noisy).
+func bitstringOps(n int, noise float64, seed uint64) Ops[[]bool] {
+	noiseRng := xrand.New(seed).Split("fitness-noise")
+	return Ops[[]bool]{
+		Random: func(rng *xrand.Stream) []bool {
+			g := make([]bool, n)
+			for i := range g {
+				g[i] = rng.Bool()
+			}
+			return g
+		},
+		Crossover: func(a, b []bool, rng *xrand.Stream) []bool {
+			cut := rng.Intn(n)
+			child := make([]bool, n)
+			copy(child, a[:cut])
+			copy(child[cut:], b[cut:])
+			return child
+		},
+		Mutate: func(g []bool, rng *xrand.Stream) []bool {
+			c := append([]bool(nil), g...)
+			c[rng.Intn(n)] = !c[rng.Intn(n)] // flip a random bit to a random bit's inverse
+			i := rng.Intn(n)
+			c[i] = !c[i]
+			return c
+		},
+		Fitness: func(g []bool) float64 {
+			f := 0.0
+			for _, b := range g {
+				if b {
+					f++
+				}
+			}
+			if noise > 0 {
+				f += noiseRng.NormMS(0, noise)
+			}
+			return f
+		},
+	}
+}
+
+func TestRunSolvesMaxOnes(t *testing.T) {
+	const n = 32
+	cfg := Config{
+		PopulationSize: 40,
+		Generations:    60,
+		Elite:          2,
+		TournamentK:    3,
+		CrossoverRate:  0.8,
+		MutationRate:   0.7,
+		Seed:           5,
+	}
+	res, err := Run(cfg, bitstringOps(n, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < n-2 {
+		t.Errorf("GA reached fitness %v, want >= %d", res.BestFitness, n-2)
+	}
+	if len(res.History) != cfg.Generations {
+		t.Errorf("history length %d, want %d", len(res.History), cfg.Generations)
+	}
+}
+
+func TestRunImprovesOverGenerations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Generations = 30
+	cfg.Seed = 9
+	res, err := Run(cfg, bitstringOps(64, 0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[0].BestFitness
+	last := res.History[len(res.History)-1].BestFitness
+	if last <= first {
+		t.Errorf("no improvement: first=%v last=%v", first, last)
+	}
+	// Mean fitness should also trend up substantially.
+	if res.History[len(res.History)-1].MeanFitness <= res.History[0].MeanFitness {
+		t.Error("mean fitness did not improve")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Generations = 10
+	cfg.Seed = 42
+	a, err := Run(cfg, bitstringOps(16, 0, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, bitstringOps(16, 0, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Errorf("same seed produced different best fitness: %v vs %v", a.BestFitness, b.BestFitness)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("history diverged at generation %d", i)
+		}
+	}
+}
+
+func TestRunWithNoisyFitness(t *testing.T) {
+	// With measurement noise (like EM probes) the GA should still find a
+	// near-optimal genome.
+	cfg := DefaultConfig()
+	cfg.Generations = 40
+	cfg.Seed = 11
+	res, err := Run(cfg, bitstringOps(24, 1.5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count actual ones of the best genome (noise-free evaluation).
+	ones := 0
+	for _, b := range res.Best {
+		if b {
+			ones++
+		}
+	}
+	if ones < 20 {
+		t.Errorf("noisy GA found genome with %d/24 ones", ones)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.PopulationSize = 1 },
+		func(c *Config) { c.Generations = 0 },
+		func(c *Config) { c.Elite = -1 },
+		func(c *Config) { c.Elite = c.PopulationSize },
+		func(c *Config) { c.TournamentK = 0 },
+		func(c *Config) { c.CrossoverRate = 1.5 },
+		func(c *Config) { c.MutationRate = -0.1 },
+	}
+	for i, mod := range bads {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsNilOps(t *testing.T) {
+	cfg := DefaultConfig()
+	ops := bitstringOps(8, 0, 1)
+	ops.Fitness = nil
+	if _, err := Run(cfg, ops); err == nil {
+		t.Error("nil fitness accepted")
+	}
+}
+
+func TestHallOfFameKeepsBestEver(t *testing.T) {
+	// A fitness that decays over calls: the best genome appears early and
+	// the hall of fame must retain a score at least as good as every
+	// generation's recorded best.
+	calls := 0
+	ops := Ops[int]{
+		Random:    func(rng *xrand.Stream) int { return rng.Intn(100) },
+		Crossover: func(a, b int, rng *xrand.Stream) int { return (a + b) / 2 },
+		Mutate:    func(g int, rng *xrand.Stream) int { return g + rng.Intn(3) - 1 },
+		Fitness: func(g int) float64 {
+			calls++
+			return float64(g) - float64(calls)*0.01
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.Generations = 5
+	res, err := Run(cfg, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.History {
+		if h.BestFitness > res.BestFitness+1e-9 {
+			t.Errorf("hall of fame %v below generation best %v", res.BestFitness, h.BestFitness)
+		}
+	}
+	if math.IsNaN(res.BestFitness) {
+		t.Error("NaN best fitness")
+	}
+}

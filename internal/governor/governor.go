@@ -1,0 +1,226 @@
+// Package governor implements the paper's envisioned deployment module
+// (Section IV.D): a voltage governor that consumes the characterization
+// outputs — a trained counter-based Vmin predictor and a droop history —
+// and steers the PMD rail per scheduled workload, with a guard margin that
+// adapts when the prediction ever proves optimistic.
+//
+// Policy: for each workload the governor predicts the safe Vmin from its
+// performance-counter features, adds the current guard band, and clamps to
+// the rail range. If a run is disrupted anyway (any non-OK outcome), the
+// governor reverts that workload to nominal voltage, widens the global
+// guard, and records the incident; a real deployment would also feed the
+// droop history, which the governor consults as a floor on the guard.
+package governor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/predictor"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+)
+
+// Config tunes the governor.
+type Config struct {
+	// InitialGuardV is the starting margin added to predictions (volts).
+	InitialGuardV float64
+	// GuardStepV is how much the guard widens after a disruption.
+	GuardStepV float64
+	// MaxGuardV caps the guard (beyond it the governor runs at nominal).
+	MaxGuardV float64
+	// RiskTarget, when a droop history is attached, lower-bounds the
+	// guard by the history's risk-derived margin.
+	RiskTarget float64
+}
+
+// DefaultConfig returns a conservative deployment policy.
+func DefaultConfig() Config {
+	return Config{
+		InitialGuardV: 0.010,
+		GuardStepV:    0.010,
+		MaxGuardV:     0.060,
+		RiskTarget:    1e-3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.InitialGuardV < 0 || c.GuardStepV <= 0 || c.MaxGuardV < c.InitialGuardV {
+		return errors.New("governor: inconsistent guard parameters")
+	}
+	if c.RiskTarget <= 0 || c.RiskTarget >= 1 {
+		return errors.New("governor: risk target must be in (0, 1)")
+	}
+	return nil
+}
+
+// Governor steers the PMD rail of one server.
+type Governor struct {
+	cfg     Config
+	model   *predictor.Model
+	history *predictor.DroopHistory
+	guardV  float64
+	// blocked holds workloads that disrupted the system; they run at
+	// nominal voltage until the operator clears them.
+	blocked map[string]bool
+
+	// Telemetry.
+	decisions   int
+	disruptions int
+}
+
+// New builds a governor from a trained model. The droop history is
+// optional; when present it floors the guard via the risk target.
+func New(cfg Config, model *predictor.Model, history *predictor.DroopHistory) (*Governor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, errors.New("governor: nil predictor model")
+	}
+	return &Governor{
+		cfg:     cfg,
+		model:   model,
+		history: history,
+		guardV:  cfg.InitialGuardV,
+		blocked: make(map[string]bool),
+	}, nil
+}
+
+// GuardV returns the current guard margin.
+func (g *Governor) GuardV() float64 { return g.guardV }
+
+// Disruptions returns how many runs were disrupted under governor control.
+func (g *Governor) Disruptions() int { return g.disruptions }
+
+// Decide returns the voltage the governor would use for a workload given
+// its counter features.
+func (g *Governor) Decide(w workloads.Profile, f predictor.Features) (float64, error) {
+	g.decisions++
+	if g.blocked[w.Name] || g.guardV > g.cfg.MaxGuardV {
+		return silicon.NominalVoltage, nil
+	}
+	v, err := g.model.SuggestSafeVoltage(f, g.guardV)
+	if err != nil {
+		return 0, err
+	}
+	// The droop history floors the margin below nominal: never run closer
+	// to the predicted Vmin than the risk-derived droop allowance.
+	if g.history != nil && g.history.Len() > 0 {
+		riskV, err := g.history.VoltageForRisk(g.model.Predict(f)-0.002, silicon.NominalVoltage, g.cfg.RiskTarget)
+		if err == nil && riskV > v {
+			v = riskV
+		}
+	}
+	if v > silicon.NominalVoltage {
+		v = silicon.NominalVoltage
+	}
+	return v, nil
+}
+
+// Observe feeds a completed run back: droop samples extend the history and
+// disruptions widen the guard and block the offending workload.
+func (g *Governor) Observe(w workloads.Profile, res xgene.RunResult) {
+	if g.history != nil {
+		g.history.Record(res.DroopMV)
+	}
+	if res.Outcome != xgene.OutcomeOK {
+		g.disruptions++
+		g.guardV += g.cfg.GuardStepV
+		g.blocked[w.Name] = true
+	}
+}
+
+// Report summarizes a governed deployment window.
+type Report struct {
+	Runs        int
+	Disruptions int
+	// MeanVoltage is the average governed rail voltage.
+	MeanVoltage float64
+	// EnergySavingsPct compares governed vs all-nominal PMD energy for
+	// the same work.
+	EnergySavingsPct float64
+}
+
+// RunWorkloads executes a workload sequence on a server under governor
+// control and reports energy savings versus nominal operation. Each
+// workload runs on all cores; the governor sets the rail before each run
+// and observes the outcome after.
+func (g *Governor) RunWorkloads(srv *xgene.Server, seq []workloads.Profile, seed uint64) (Report, error) {
+	if srv == nil {
+		return Report{}, errors.New("governor: nil server")
+	}
+	if len(seq) == 0 {
+		return Report{}, errors.New("governor: empty workload sequence")
+	}
+	var rep Report
+	var sumV, governedEnergy, nominalEnergy float64
+	for i, w := range seq {
+		ctr, err := featuresOf(srv, w)
+		if err != nil {
+			return rep, err
+		}
+		v, err := g.Decide(w, ctr)
+		if err != nil {
+			return rep, err
+		}
+		if err := srv.SetPMDVoltage(v); err != nil {
+			return rep, fmt.Errorf("governor: set rail: %w", err)
+		}
+		res, err := srv.Run(xgene.RunSpec{
+			Workload: w,
+			Cores:    silicon.AllCores(),
+			Seed:     seed ^ uint64(i)<<32,
+		})
+		if err != nil {
+			return rep, err
+		}
+		g.Observe(w, res)
+		if res.Outcome == xgene.OutcomeCrash || res.Outcome == xgene.OutcomeHang {
+			srv.Reboot()
+		}
+		rep.Runs++
+		sumV += v
+		dur := res.Duration.Seconds()
+		governedEnergy += res.Power.PMDW * dur
+
+		// Reference: the same run at nominal voltage.
+		if err := srv.SetPMDVoltage(silicon.NominalVoltage); err != nil {
+			return rep, err
+		}
+		ref, err := srv.Run(xgene.RunSpec{
+			Workload: w,
+			Cores:    silicon.AllCores(),
+			Seed:     seed ^ uint64(i)<<32 ^ 0xA5A5,
+		})
+		if err != nil {
+			return rep, err
+		}
+		nominalEnergy += ref.Power.PMDW * ref.Duration.Seconds()
+	}
+	rep.Disruptions = g.disruptions
+	rep.MeanVoltage = sumV / float64(rep.Runs)
+	rep.EnergySavingsPct = power.Savings(nominalEnergy, governedEnergy) * 100
+	return rep, nil
+}
+
+// featuresOf derives predictor features for a workload on a server via a
+// short profiling run at nominal voltage (the counter values do not depend
+// on the rail, but profiling must never run at an untrusted level).
+func featuresOf(srv *xgene.Server, w workloads.Profile) (predictor.Features, error) {
+	if err := srv.SetPMDVoltage(silicon.NominalVoltage); err != nil {
+		return predictor.Features{}, err
+	}
+	res, err := srv.Run(xgene.RunSpec{
+		Workload: w,
+		Cores:    []silicon.CoreID{{PMD: 3, Core: 1}},
+		Seed:     0xFEA7,
+	})
+	if err != nil {
+		return predictor.Features{}, err
+	}
+	return predictor.FeaturesOf(w, res.Counters), nil
+}

@@ -1,0 +1,285 @@
+// Package jammer implements the end-to-end denial-of-service detector
+// application of Section IV.D: a software-defined-radio front end monitors
+// the wireless spectrum and the detector flags channels occupied by a
+// jamming device. The paper executes four parallel instances of this
+// application on the undervolted server to demonstrate that the revealed
+// safe operating points hold under a realistic, QoS-constrained workload.
+//
+// The SDR front end synthesizes per-frame baseband samples (channel noise
+// plus, optionally, a narrowband jammer tone); the detector measures
+// per-channel energy with the Goertzel algorithm and applies a robust
+// threshold over the channel population. Detection quality is therefore a
+// real signal-processing result, checkable against the injected ground
+// truth.
+package jammer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Config describes the monitored band and detector parameters.
+type Config struct {
+	// SampleRateHz is the SDR baseband sample rate.
+	SampleRateHz float64
+	// FrameSize is samples per processed frame.
+	FrameSize int
+	// Channels is the number of monitored channels, evenly spaced across
+	// the band.
+	Channels int
+	// JammerSNRdB is the injected jammer's power over the noise floor.
+	JammerSNRdB float64
+	// JammerProb is the per-frame probability a jammer is active.
+	JammerProb float64
+	// ThresholdDB is the detection threshold over the median channel
+	// energy.
+	ThresholdDB float64
+	// Seed drives noise and jammer placement.
+	Seed uint64
+}
+
+// DefaultConfig returns the detector configuration used by the Fig. 9
+// deployment: a 20 MS/s front end watching 64 channels.
+func DefaultConfig() Config {
+	return Config{
+		SampleRateHz: 20e6,
+		FrameSize:    2048,
+		Channels:     64,
+		JammerSNRdB:  15,
+		JammerProb:   0.3,
+		ThresholdDB:  13,
+		Seed:         1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SampleRateHz <= 0:
+		return errors.New("jammer: non-positive sample rate")
+	case c.FrameSize < 64:
+		return errors.New("jammer: frame size too small")
+	case c.Channels < 4 || c.Channels > c.FrameSize/4:
+		return errors.New("jammer: channel count out of range")
+	case c.JammerProb < 0 || c.JammerProb > 1:
+		return errors.New("jammer: jammer probability outside [0,1]")
+	case c.ThresholdDB <= 0:
+		return errors.New("jammer: threshold must be positive")
+	}
+	return nil
+}
+
+// channelFreq returns the center frequency of channel k, placed on bin
+// centers away from DC and Nyquist.
+func (c Config) channelFreq(k int) float64 {
+	return c.SampleRateHz * float64(k+1) / float64(c.Channels+2) / 2
+}
+
+// Frame is one block of baseband samples plus ground truth.
+type Frame struct {
+	Samples []float64
+	// TruthChannel is the active jammer's channel, or -1.
+	TruthChannel int
+}
+
+// SDR synthesizes monitored-band frames.
+type SDR struct {
+	cfg Config
+	rng *xrand.Stream
+}
+
+// NewSDR builds a front end for the config.
+func NewSDR(cfg Config, instance int) (*SDR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SDR{
+		cfg: cfg,
+		rng: xrand.New(cfg.Seed).Split(fmt.Sprintf("jammer/sdr/%d", instance)),
+	}, nil
+}
+
+// NextFrame synthesizes one frame: unit-variance Gaussian noise, plus a
+// jammer tone on a random channel with the configured probability.
+func (s *SDR) NextFrame() Frame {
+	f := Frame{
+		Samples:      make([]float64, s.cfg.FrameSize),
+		TruthChannel: -1,
+	}
+	for i := range f.Samples {
+		f.Samples[i] = s.rng.Norm()
+	}
+	if s.rng.Float64() < s.cfg.JammerProb {
+		ch := s.rng.Intn(s.cfg.Channels)
+		f.TruthChannel = ch
+		amp := math.Sqrt(2 * math.Pow(10, s.cfg.JammerSNRdB/10))
+		freq := s.cfg.channelFreq(ch)
+		phase := 2 * math.Pi * s.rng.Float64()
+		w := 2 * math.Pi * freq / s.cfg.SampleRateHz
+		for i := range f.Samples {
+			f.Samples[i] += amp * math.Sin(w*float64(i)+phase)
+		}
+	}
+	return f
+}
+
+// Detector flags jammed channels from frame energy.
+type Detector struct {
+	cfg Config
+}
+
+// NewDetector builds a detector for the config.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// goertzel returns the energy of a frame at one frequency.
+func goertzel(samples []float64, freq, sampleRate float64) float64 {
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range samples {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}
+
+// Detect returns the channels whose energy exceeds the median channel
+// energy by the configured threshold.
+func (d *Detector) Detect(f Frame) []int {
+	n := d.cfg.Channels
+	energies := make([]float64, n)
+	for k := 0; k < n; k++ {
+		energies[k] = goertzel(f.Samples, d.cfg.channelFreq(k), d.cfg.SampleRateHz)
+	}
+	med := median(energies)
+	if med <= 0 {
+		return nil
+	}
+	thresh := med * math.Pow(10, d.cfg.ThresholdDB/10)
+	var hits []int
+	for k, e := range energies {
+		if e > thresh {
+			hits = append(hits, k)
+		}
+	}
+	return hits
+}
+
+// median returns the middle order statistic without mutating the input.
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// Insertion sort; channel counts are small.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// QoS is the deployment's quality-of-service report.
+type QoS struct {
+	FramesProcessed int
+	// Recall is detected-jammer frames / jammer frames.
+	Recall float64
+	// FalsePositiveRate is frames with spurious detections / clean frames.
+	FalsePositiveRate float64
+	// MeanFrameLatency is average processing latency per frame.
+	MeanFrameLatency time.Duration
+	// DeadlineMet reports whether every frame finished within the frame
+	// period (the real-time constraint of continuous spectrum monitoring).
+	DeadlineMet bool
+}
+
+// Deployment runs N parallel detector instances, the paper's 4-instance
+// setup saturating the server.
+type Deployment struct {
+	cfg       Config
+	instances int
+}
+
+// NewDeployment builds an n-instance deployment.
+func NewDeployment(cfg Config, n int) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("jammer: need at least one instance")
+	}
+	return &Deployment{cfg: cfg, instances: n}, nil
+}
+
+// frameCostCycles is the per-frame processing cost of the detector on one
+// core: Goertzel over Channels frequencies, ~6 FLOPs per sample each,
+// NEON-vectorized across channels for ~4 ops/cycle sustained. At the
+// default config that is ~82 us of work per 102 us frame at 2.4 GHz: the
+// real-time constraint holds at nominal clock with ~20% headroom but
+// breaks under deep frequency scaling — the QoS bound of Fig. 9.
+func (d *Deployment) frameCostCycles() float64 {
+	return float64(d.cfg.FrameSize) * float64(d.cfg.Channels) * 6 / 4
+}
+
+// Run processes frames per instance at the given core clock and reports
+// detection quality plus real-time compliance. Detection quality is
+// measured against the injected ground truth; the frame deadline is the
+// frame period (FrameSize / SampleRate).
+func (d *Deployment) Run(framesPerInstance int, coreClockHz float64) (QoS, error) {
+	if framesPerInstance <= 0 {
+		return QoS{}, errors.New("jammer: non-positive frame count")
+	}
+	if coreClockHz <= 0 {
+		return QoS{}, errors.New("jammer: non-positive clock")
+	}
+	det, err := NewDetector(d.cfg)
+	if err != nil {
+		return QoS{}, err
+	}
+	var q QoS
+	var jammerFrames, detectedJammers, cleanFrames, spuriousFrames int
+	procTime := time.Duration(d.frameCostCycles() / coreClockHz * 1e9)
+	deadline := time.Duration(float64(d.cfg.FrameSize) / d.cfg.SampleRateHz * 1e9)
+	for inst := 0; inst < d.instances; inst++ {
+		sdr, err := NewSDR(d.cfg, inst)
+		if err != nil {
+			return QoS{}, err
+		}
+		for i := 0; i < framesPerInstance; i++ {
+			f := sdr.NextFrame()
+			hits := det.Detect(f)
+			q.FramesProcessed++
+			if f.TruthChannel >= 0 {
+				jammerFrames++
+				for _, h := range hits {
+					if h == f.TruthChannel {
+						detectedJammers++
+						break
+					}
+				}
+			} else {
+				cleanFrames++
+				if len(hits) > 0 {
+					spuriousFrames++
+				}
+			}
+		}
+	}
+	if jammerFrames > 0 {
+		q.Recall = float64(detectedJammers) / float64(jammerFrames)
+	}
+	if cleanFrames > 0 {
+		q.FalsePositiveRate = float64(spuriousFrames) / float64(cleanFrames)
+	}
+	q.MeanFrameLatency = procTime
+	q.DeadlineMet = procTime <= deadline
+	return q, nil
+}

@@ -1,0 +1,196 @@
+package jammer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/silicon"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.SampleRateHz = 0 },
+		func(c *Config) { c.FrameSize = 16 },
+		func(c *Config) { c.Channels = 2 },
+		func(c *Config) { c.Channels = c.FrameSize },
+		func(c *Config) { c.JammerProb = 1.5 },
+		func(c *Config) { c.ThresholdDB = 0 },
+	}
+	for i, mod := range bads {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSDRGroundTruth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JammerProb = 1.0
+	sdr, err := NewSDR(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sdr.NextFrame()
+	if f.TruthChannel < 0 || f.TruthChannel >= cfg.Channels {
+		t.Errorf("truth channel %d out of range", f.TruthChannel)
+	}
+	if len(f.Samples) != cfg.FrameSize {
+		t.Errorf("frame size %d", len(f.Samples))
+	}
+	cfg.JammerProb = 0
+	sdr2, _ := NewSDR(cfg, 0)
+	if f2 := sdr2.NextFrame(); f2.TruthChannel != -1 {
+		t.Error("clean frame has a truth channel")
+	}
+}
+
+func TestDetectorFindsInjectedJammer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JammerProb = 1.0
+	sdr, _ := NewSDR(cfg, 0)
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		f := sdr.NextFrame()
+		for _, h := range det.Detect(f) {
+			if h == f.TruthChannel {
+				found++
+				break
+			}
+		}
+	}
+	if found < frames*9/10 {
+		t.Errorf("detector found %d/%d injected jammers", found, frames)
+	}
+}
+
+func TestDetectorQuietOnCleanSpectrum(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JammerProb = 0
+	sdr, _ := NewSDR(cfg, 0)
+	det, _ := NewDetector(cfg)
+	spurious := 0
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		if len(det.Detect(sdr.NextFrame())) > 0 {
+			spurious++
+		}
+	}
+	if spurious > frames/10 {
+		t.Errorf("%d/%d clean frames produced detections", spurious, frames)
+	}
+}
+
+func TestDeploymentQoS(t *testing.T) {
+	dep, err := NewDeployment(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := dep.Run(40, silicon.NominalFreqHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FramesProcessed != 160 {
+		t.Errorf("frames processed = %d, want 160", q.FramesProcessed)
+	}
+	if q.Recall < 0.9 {
+		t.Errorf("recall = %v, want >= 0.9", q.Recall)
+	}
+	if q.FalsePositiveRate > 0.1 {
+		t.Errorf("false positive rate = %v", q.FalsePositiveRate)
+	}
+	if !q.DeadlineMet {
+		t.Error("deadline missed at nominal clock")
+	}
+}
+
+func TestQoSHoldsAtReducedMarginNotClock(t *testing.T) {
+	// Fig. 9: undervolting does not change the clock, so QoS must be
+	// identical; a deep frequency cut, by contrast, would break real-time.
+	dep, _ := NewDeployment(DefaultConfig(), 4)
+	nominal, err := dep.Run(20, silicon.NominalFreqHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nominal.DeadlineMet {
+		t.Fatal("nominal deployment misses deadlines")
+	}
+	// 300 MHz cannot keep up with a 20 MS/s front end at this frame cost.
+	slow, err := dep.Run(20, 300e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.DeadlineMet {
+		t.Error("detector claims real-time at 300 MHz; cost model broken")
+	}
+	if slow.Recall != nominal.Recall {
+		t.Error("detection quality should not depend on clock")
+	}
+}
+
+func TestDeploymentErrors(t *testing.T) {
+	if _, err := NewDeployment(DefaultConfig(), 0); err == nil {
+		t.Error("zero instances accepted")
+	}
+	bad := DefaultConfig()
+	bad.FrameSize = 0
+	if _, err := NewDeployment(bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	dep, _ := NewDeployment(DefaultConfig(), 1)
+	if _, err := dep.Run(0, silicon.NominalFreqHz); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := dep.Run(10, 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestSDRDeterministicPerInstance(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := NewSDR(cfg, 0)
+	b, _ := NewSDR(cfg, 0)
+	fa, fb := a.NextFrame(), b.NextFrame()
+	for i := range fa.Samples {
+		if fa.Samples[i] != fb.Samples[i] {
+			t.Fatal("same-instance SDRs diverged")
+		}
+	}
+	c, _ := NewSDR(cfg, 1)
+	fc := c.NextFrame()
+	same := true
+	for i := range fa.Samples {
+		if fa.Samples[i] != fc.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different instances produce identical streams")
+	}
+}
+
+func TestGoertzelSelectivity(t *testing.T) {
+	cfg := DefaultConfig()
+	// Pure tone at channel 10's frequency: its energy must dwarf others.
+	n := cfg.FrameSize
+	samples := make([]float64, n)
+	w := 2 * math.Pi * cfg.channelFreq(10) / cfg.SampleRateHz
+	for i := range samples {
+		samples[i] = math.Sin(w * float64(i))
+	}
+	e10 := goertzel(samples, cfg.channelFreq(10), cfg.SampleRateHz)
+	e20 := goertzel(samples, cfg.channelFreq(20), cfg.SampleRateHz)
+	if e10 < 100*e20 {
+		t.Errorf("Goertzel not selective: on-channel %v vs off-channel %v", e10, e20)
+	}
+}

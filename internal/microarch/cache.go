@@ -1,0 +1,261 @@
+// Package microarch simulates the X-Gene2 core-side microarchitecture at
+// the fidelity the guardband study needs: a set-associative cache hierarchy
+// (32 KB L1I + 32 KB L1D per core, 256 KB L2 per PMD, 8 MB L3 behind the
+// central switch) exercised by synthetic address streams, yielding the
+// performance counters (IPC, MPKI, hit rates, DRAM bandwidth) that the
+// paper's Vmin predictor consumes and that determine each workload's DRAM
+// access behaviour.
+package microarch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// Validate reports whether the configuration is realizable.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return errors.New("microarch: cache dimensions must be positive")
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return errors.New("microarch: line size must be a power of two")
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets <= 0 {
+		return fmt.Errorf("microarch: %d sets; size too small for %d ways", sets, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return errors.New("microarch: set count must be a power of two")
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	setMask  uint64
+	// tags[set][way]; lru[set][way] holds a recency counter (higher = more
+	// recent).
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	tick  uint64
+
+	hits, misses uint64
+}
+
+// NewCache constructs a cache from its configuration.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+		tags:     make([][]uint64, sets),
+		valid:    make([][]bool, sets),
+		lru:      make([][]uint64, sets),
+	}
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Access looks up addr, filling the line on a miss, and reports a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineBits
+	set := line & c.setMask
+	tag := line >> uintBits(c.setMask)
+	tags, valid, lru := c.tags[set], c.valid[set], c.lru[set]
+	for w := range tags {
+		if valid[w] && tags[w] == tag {
+			lru[w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Victim: first invalid way, else least recently used.
+	victim := 0
+	for w := range tags {
+		if !valid[w] {
+			victim = w
+			break
+		}
+		if lru[w] < lru[victim] {
+			victim = w
+		}
+	}
+	tags[victim] = tag
+	valid[victim] = true
+	lru[victim] = c.tick
+	return false
+}
+
+// uintBits returns the number of set-index bits for a mask of form 2^k-1.
+func uintBits(mask uint64) uint {
+	n := uint(0)
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Hits returns the hit count since construction or Reset.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count since construction or Reset.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// ResetStats clears the hit/miss counters without flushing contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Flush invalidates every line and clears statistics.
+func (c *Cache) Flush() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+	c.tick = 0
+	c.ResetStats()
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Hierarchy is one core's view of the X-Gene2 cache hierarchy. L2 is
+// physically shared between the two cores of a PMD and L3 across the SoC;
+// for counter purposes each core simulates its own slice, which matches the
+// paper's single-process-per-core characterization setups.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+}
+
+// Latencies (cycles) of each hierarchy level, calibrated to X-Gene2-class
+// parts; DRAM latency matches the isa.LoadDRAM stall.
+const (
+	LatL1  = 1
+	LatL2  = 4
+	LatL3  = 15
+	LatMem = 40
+)
+
+// NewXGene2Hierarchy builds the paper's hierarchy: 32 KB 8-way L1I and
+// L1D, 256 KB 8-way L2, 8 MB 16-way L3, 64-byte lines throughout.
+func NewXGene2Hierarchy() (*Hierarchy, error) {
+	l1i, err := NewCache(CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	if err != nil {
+		return nil, fmt.Errorf("microarch: L1I: %w", err)
+	}
+	l1d, err := NewCache(CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	if err != nil {
+		return nil, fmt.Errorf("microarch: L1D: %w", err)
+	}
+	l2, err := NewCache(CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8})
+	if err != nil {
+		return nil, fmt.Errorf("microarch: L2: %w", err)
+	}
+	l3, err := NewCache(CacheConfig{SizeBytes: 8 << 20, LineBytes: 64, Ways: 16})
+	if err != nil {
+		return nil, fmt.Errorf("microarch: L3: %w", err)
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3}, nil
+}
+
+// Level identifies where an access was served.
+type Level int
+
+const (
+	// InL1 means the access hit in the L1 data cache.
+	InL1 Level = iota + 1
+	// InL2 means it missed L1 and hit L2.
+	InL2
+	// InL3 means it missed L2 and hit the shared L3.
+	InL3
+	// InMemory means it went to DRAM.
+	InMemory
+)
+
+// Latency returns the access latency of the level in cycles.
+func (l Level) Latency() int {
+	switch l {
+	case InL1:
+		return LatL1
+	case InL2:
+		return LatL2
+	case InL3:
+		return LatL3
+	default:
+		return LatMem
+	}
+}
+
+// Access walks the hierarchy for a data address and returns the serving
+// level.
+func (h *Hierarchy) Access(addr uint64) Level {
+	if h.L1D.Access(addr) {
+		return InL1
+	}
+	if h.L2.Access(addr) {
+		return InL2
+	}
+	if h.L3.Access(addr) {
+		return InL3
+	}
+	return InMemory
+}
+
+// Fetch walks the instruction side for a code address: L1I, then the
+// unified L2/L3.
+func (h *Hierarchy) Fetch(addr uint64) Level {
+	if h.L1I.Access(addr) {
+		return InL1
+	}
+	if h.L2.Access(addr) {
+		return InL2
+	}
+	if h.L3.Access(addr) {
+		return InL3
+	}
+	return InMemory
+}
+
+// Flush empties all levels.
+func (h *Hierarchy) Flush() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.L3.Flush()
+}

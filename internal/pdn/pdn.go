@@ -1,0 +1,178 @@
+// Package pdn models the on-chip/package power-delivery network of the
+// X-Gene2 SoC as a second-order resonant system.
+//
+// The characterization paper's dI/dt viruses work by forcing the CPU's
+// current draw to switch between high and low power "at a rate equal to the
+// PDN 1st order resonant frequency", which maximizes voltage noise. This
+// package supplies exactly that mechanism: a parallel-RLC tank impedance
+// with a peak at the resonant frequency, and a droop estimator that projects
+// a periodic current waveform onto the impedance curve. A current square
+// wave at the resonant frequency therefore produces the worst droop — the
+// landscape the genetic algorithm in internal/viruses must discover.
+package pdn
+
+import (
+	"errors"
+	"math"
+)
+
+// Network describes a power-delivery network: a series DC resistance plus a
+// parallel RLC tank whose impedance peaks at the first-order resonant
+// frequency.
+type Network struct {
+	// RdcOhm is the DC (series) resistance of the supply path in ohms.
+	RdcOhm float64
+	// RpeakOhm is the tank impedance magnitude at resonance in ohms.
+	RpeakOhm float64
+	// FresHz is the first-order resonant frequency in hertz.
+	FresHz float64
+	// Q is the quality factor of the tank (peak sharpness).
+	Q float64
+}
+
+// Default returns the calibrated X-Gene2-class PDN used throughout the
+// reproduction: ~1 mΩ DC path, 5 mΩ resonant peak at 120 MHz with Q≈3.
+// At a 2.4 GHz core clock the resonant period is exactly 20 cycles, so the
+// optimal dI/dt loop alternates 10 high-power and 10 low-power instructions.
+func Default() Network {
+	return Network{
+		RdcOhm:   1e-3,
+		RpeakOhm: 5e-3,
+		FresHz:   120e6,
+		Q:        3,
+	}
+}
+
+// Validate reports whether the network parameters are physically sensible.
+func (n Network) Validate() error {
+	switch {
+	case n.RdcOhm < 0:
+		return errors.New("pdn: negative DC resistance")
+	case n.RpeakOhm <= 0:
+		return errors.New("pdn: non-positive peak impedance")
+	case n.FresHz <= 0:
+		return errors.New("pdn: non-positive resonant frequency")
+	case n.Q <= 0:
+		return errors.New("pdn: non-positive Q")
+	}
+	return nil
+}
+
+// Impedance returns the AC impedance magnitude (ohms) seen by a current
+// component at frequency f. It uses the standard parallel-RLC magnitude
+// response, which peaks at FresHz with value RpeakOhm and rolls off on both
+// sides; the series DC resistance applies only to the DC component and is
+// not included here.
+func (n Network) Impedance(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	x := f / n.FresHz
+	// |Z| = Rpeak / sqrt(1 + Q^2 (x - 1/x)^2), the universal resonance curve.
+	d := n.Q * (x - 1/x)
+	return n.RpeakOhm / math.Sqrt(1+d*d)
+}
+
+// WaveformFeatures summarizes a periodic current waveform in the two terms
+// that matter for droop: the DC level and the resonance-weighted AC content.
+type WaveformFeatures struct {
+	// AvgCurrentA is the mean current draw in amperes.
+	AvgCurrentA float64
+	// ResonantCurrentA is the impedance-weighted amplitude of the AC
+	// content, expressed as an equivalent current at the resonant peak:
+	// sum over harmonics k of |I_k| * Z(f_k)/Rpeak.
+	ResonantCurrentA float64
+	// PeakToPeakA is max(i) - min(i) over the waveform.
+	PeakToPeakA float64
+}
+
+// Analyze computes WaveformFeatures for a periodic current waveform sampled
+// once per core clock cycle at coreClockHz. The waveform is treated as one
+// full period of a repeating signal. Harmonic amplitudes are obtained with
+// a direct DFT (waveforms are short instruction loops, so O(N^2) is fine).
+func (n Network) Analyze(waveform []float64, coreClockHz float64) (WaveformFeatures, error) {
+	if len(waveform) == 0 {
+		return WaveformFeatures{}, errors.New("pdn: empty waveform")
+	}
+	if coreClockHz <= 0 {
+		return WaveformFeatures{}, errors.New("pdn: non-positive core clock")
+	}
+	N := len(waveform)
+	var sum float64
+	mn, mx := waveform[0], waveform[0]
+	for _, v := range waveform {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	avg := sum / float64(N)
+
+	// Harmonic k of the loop sits at k * coreClock / N. Only harmonics in
+	// the tank's passband contribute meaningfully; we weight each by
+	// Z(f_k)/Rpeak so a component exactly at resonance counts at full value.
+	var resonant float64
+	half := N / 2
+	for k := 1; k <= half; k++ {
+		fk := float64(k) * coreClockHz / float64(N)
+		w := n.Impedance(fk) / n.RpeakOhm
+		if w < 1e-4 {
+			continue
+		}
+		var re, im float64
+		for t, v := range waveform {
+			ph := 2 * math.Pi * float64(k) * float64(t) / float64(N)
+			re += (v - avg) * math.Cos(ph)
+			im += (v - avg) * math.Sin(ph)
+		}
+		// Amplitude of harmonic k (one-sided spectrum).
+		amp := 2 * math.Hypot(re, im) / float64(N)
+		if k == half && N%2 == 0 {
+			amp /= 2 // Nyquist bin is not doubled
+		}
+		resonant += amp * w
+	}
+	return WaveformFeatures{
+		AvgCurrentA:      avg,
+		ResonantCurrentA: resonant,
+		PeakToPeakA:      mx - mn,
+	}, nil
+}
+
+// DroopMV estimates the worst-case supply droop (in millivolts) for a
+// waveform with the given features: the IR drop of the average current over
+// the DC path plus the resonant term over the tank peak, assuming
+// worst-case phase alignment.
+func (n Network) DroopMV(f WaveformFeatures) float64 {
+	return 1000 * (f.AvgCurrentA*n.RdcOhm + f.ResonantCurrentA*n.RpeakOhm)
+}
+
+// SquareWaveFeatures returns the analytic features of an ideal 50%-duty
+// square wave between loA and hiA at exactly the resonant frequency: the
+// fundamental of a square wave of swing ΔI has amplitude (2/π)ΔI.
+// It is used by tests and by the virus-quality metric to normalize how
+// close a crafted loop gets to the theoretical optimum.
+func (n Network) SquareWaveFeatures(loA, hiA float64) WaveformFeatures {
+	d := hiA - loA
+	if d < 0 {
+		d = -d
+	}
+	return WaveformFeatures{
+		AvgCurrentA:      (loA + hiA) / 2,
+		ResonantCurrentA: 2 * d / math.Pi,
+		PeakToPeakA:      d,
+	}
+}
+
+// ResonantPeriodCycles returns the resonant period expressed in core clock
+// cycles, rounded to the nearest integer — the natural loop length for a
+// dI/dt virus on this network.
+func (n Network) ResonantPeriodCycles(coreClockHz float64) int {
+	if coreClockHz <= 0 || n.FresHz <= 0 {
+		return 0
+	}
+	return int(coreClockHz/n.FresHz + 0.5)
+}

@@ -1,0 +1,249 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Network{
+		{RdcOhm: -1, RpeakOhm: 1, FresHz: 1, Q: 1},
+		{RdcOhm: 0, RpeakOhm: 0, FresHz: 1, Q: 1},
+		{RdcOhm: 0, RpeakOhm: 1, FresHz: 0, Q: 1},
+		{RdcOhm: 0, RpeakOhm: 1, FresHz: 1, Q: 0},
+	}
+	for i, n := range cases {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestImpedancePeaksAtResonance(t *testing.T) {
+	n := Default()
+	zres := n.Impedance(n.FresHz)
+	if math.Abs(zres-n.RpeakOhm) > 1e-12 {
+		t.Errorf("Z(fres) = %v, want %v", zres, n.RpeakOhm)
+	}
+	for _, f := range []float64{n.FresHz / 10, n.FresHz / 2, n.FresHz * 2, n.FresHz * 10} {
+		if z := n.Impedance(f); z >= zres {
+			t.Errorf("Z(%v) = %v >= peak %v", f, z, zres)
+		}
+	}
+	if n.Impedance(0) != 0 || n.Impedance(-5) != 0 {
+		t.Error("non-positive frequency should have zero impedance")
+	}
+}
+
+func TestImpedanceSymmetryInLogFrequency(t *testing.T) {
+	n := Default()
+	// The universal resonance curve is symmetric in x vs 1/x.
+	for _, r := range []float64{1.5, 2, 5} {
+		a := n.Impedance(n.FresHz * r)
+		b := n.Impedance(n.FresHz / r)
+		if math.Abs(a-b) > 1e-15 {
+			t.Errorf("asymmetry at ratio %v: %v vs %v", r, a, b)
+		}
+	}
+}
+
+func TestAnalyzeConstantWaveform(t *testing.T) {
+	n := Default()
+	w := make([]float64, 40)
+	for i := range w {
+		w[i] = 5
+	}
+	f, err := n.Analyze(w, 2.4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.AvgCurrentA-5) > 1e-12 {
+		t.Errorf("avg = %v, want 5", f.AvgCurrentA)
+	}
+	if f.ResonantCurrentA > 1e-9 {
+		t.Errorf("constant waveform has resonant content %v", f.ResonantCurrentA)
+	}
+	if f.PeakToPeakA != 0 {
+		t.Errorf("peak-to-peak = %v, want 0", f.PeakToPeakA)
+	}
+}
+
+// square returns one period of a 50%-duty square wave of the given length.
+func square(n int, lo, hi float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		if i < n/2 {
+			w[i] = hi
+		} else {
+			w[i] = lo
+		}
+	}
+	return w
+}
+
+func TestAnalyzeSquareAtResonance(t *testing.T) {
+	n := Default()
+	clock := 2.4e9
+	period := n.ResonantPeriodCycles(clock)
+	if period != 20 {
+		t.Fatalf("resonant period = %d cycles, want 20", period)
+	}
+	f, err := n.Analyze(square(period, 1, 8), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.SquareWaveFeatures(1, 8)
+	// The resonance-weighted sum includes harmonics, so the measured value
+	// is close to (slightly above) the pure fundamental.
+	if f.ResonantCurrentA < want.ResonantCurrentA*0.95 {
+		t.Errorf("resonant content %v too far below fundamental %v",
+			f.ResonantCurrentA, want.ResonantCurrentA)
+	}
+	if f.ResonantCurrentA > want.ResonantCurrentA*1.3 {
+		t.Errorf("resonant content %v implausibly above fundamental %v",
+			f.ResonantCurrentA, want.ResonantCurrentA)
+	}
+	if math.Abs(f.AvgCurrentA-4.5) > 1e-9 {
+		t.Errorf("avg = %v, want 4.5", f.AvgCurrentA)
+	}
+	if f.PeakToPeakA != 7 {
+		t.Errorf("pp = %v, want 7", f.PeakToPeakA)
+	}
+}
+
+func TestOffResonanceSquareIsWeaker(t *testing.T) {
+	n := Default()
+	clock := 2.4e9
+	onRes, err := n.Analyze(square(20, 1, 8), clock) // 120 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same swing, but switching 5x slower (24 MHz fundamental).
+	offRes, err := n.Analyze(square(100, 1, 8), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRes.ResonantCurrentA >= onRes.ResonantCurrentA {
+		t.Errorf("off-resonance square (%v) should be weaker than on-resonance (%v)",
+			offRes.ResonantCurrentA, onRes.ResonantCurrentA)
+	}
+	// Also faster-than-resonance switching (240 MHz) must be weaker.
+	fast, err := n.Analyze(square(10, 1, 8), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ResonantCurrentA >= onRes.ResonantCurrentA {
+		t.Errorf("above-resonance square (%v) should be weaker than on-resonance (%v)",
+			fast.ResonantCurrentA, onRes.ResonantCurrentA)
+	}
+}
+
+func TestDroopMonotoneInSwing(t *testing.T) {
+	n := Default()
+	clock := 2.4e9
+	var prev float64
+	for _, hi := range []float64{2, 4, 6, 8} {
+		f, err := n.Analyze(square(20, 1, hi), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := n.DroopMV(f)
+		if d <= prev {
+			t.Errorf("droop not increasing with swing: hi=%v droop=%v prev=%v", hi, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDroopMVComposition(t *testing.T) {
+	n := Network{RdcOhm: 1e-3, RpeakOhm: 5e-3, FresHz: 120e6, Q: 3}
+	f := WaveformFeatures{AvgCurrentA: 6, ResonantCurrentA: 4}
+	got := n.DroopMV(f)
+	want := 1000 * (6*1e-3 + 4*5e-3) // 6 + 20 = 26 mV
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DroopMV = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	n := Default()
+	if _, err := n.Analyze(nil, 2.4e9); err == nil {
+		t.Error("expected error for empty waveform")
+	}
+	if _, err := n.Analyze([]float64{1}, 0); err == nil {
+		t.Error("expected error for zero clock")
+	}
+}
+
+func TestSquareWaveFeaturesAnalytic(t *testing.T) {
+	n := Default()
+	f := n.SquareWaveFeatures(1, 8)
+	if math.Abs(f.ResonantCurrentA-2*7/math.Pi) > 1e-12 {
+		t.Errorf("fundamental = %v, want %v", f.ResonantCurrentA, 2*7/math.Pi)
+	}
+	// Order of arguments must not matter for the swing.
+	g := n.SquareWaveFeatures(8, 1)
+	if f.ResonantCurrentA != g.ResonantCurrentA || f.PeakToPeakA != g.PeakToPeakA {
+		t.Error("SquareWaveFeatures not symmetric in lo/hi")
+	}
+}
+
+func TestResonantPeriodCycles(t *testing.T) {
+	n := Default()
+	if got := n.ResonantPeriodCycles(2.4e9); got != 20 {
+		t.Errorf("period at 2.4GHz = %d, want 20", got)
+	}
+	if got := n.ResonantPeriodCycles(1.2e9); got != 10 {
+		t.Errorf("period at 1.2GHz = %d, want 10", got)
+	}
+	if got := n.ResonantPeriodCycles(0); got != 0 {
+		t.Errorf("period at 0 clock = %d, want 0", got)
+	}
+}
+
+func BenchmarkAnalyze20(b *testing.B) {
+	n := Default()
+	w := square(20, 1, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = n.Analyze(w, 2.4e9)
+	}
+}
+
+func BenchmarkAnalyze200(b *testing.B) {
+	n := Default()
+	w := square(200, 1, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = n.Analyze(w, 2.4e9)
+	}
+}
+
+func TestImpedanceNeverExceedsPeakProperty(t *testing.T) {
+	n := Default()
+	if err := quickCheck(func(raw uint16) bool {
+		f := float64(raw+1) * 1e6 // 1 MHz .. ~65 GHz
+		return n.Impedance(f) <= n.RpeakOhm+1e-15
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDroopNonNegativeProperty(t *testing.T) {
+	n := Default()
+	if err := quickCheck(func(a, b uint8) bool {
+		f := WaveformFeatures{
+			AvgCurrentA:      float64(a) / 16,
+			ResonantCurrentA: float64(b) / 32,
+		}
+		return n.DroopMV(f) >= 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+package pdn
+
+import "testing/quick"
+
+// quickCheck centralizes the property-test configuration.
+func quickCheck(f interface{}) error {
+	return quick.Check(f, &quick.Config{MaxCount: 300})
+}

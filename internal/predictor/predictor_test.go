@@ -1,0 +1,165 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/microarch"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+)
+
+// measureSamples runs real Vmin searches on a server to build training
+// data, exactly as the paper's flow would.
+func measureSamples(t *testing.T, benches []workloads.Profile) ([]Sample, *xgene.Server) {
+	t.Helper()
+	srv, err := xgene.NewServer(xgene.Options{Corner: silicon.TTT, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.NewFramework(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust := srv.Chip().MostRobustCore()
+	var samples []Sample
+	for _, b := range benches {
+		cfg := core.DefaultVminConfig(b, core.NominalSetup(robust))
+		cfg.Repetitions = 3 // keep the test fast; boundary noise is small
+		res, err := fw.VminSearch(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, err := microarch.Simulate(b.Mix, b.Stream, 200000, 0xC0FFEE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{
+			Features: FeaturesOf(b, ctr),
+			VminV:    res.SafeVminV,
+		})
+	}
+	return samples, srv
+}
+
+func TestTrainAndPredictOnSPEC(t *testing.T) {
+	samples, _ := measureSamples(t, workloads.SPEC2006())
+	m, err := Train(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-sample accuracy should be a few millivolts (the relation is
+	// nearly linear in the features by construction of the silicon model).
+	if mae := m.MAE(samples); mae > 0.006 {
+		t.Errorf("in-sample MAE = %v V, want < 6 mV", mae)
+	}
+	// Held-out check: NAS profiles were never trained on; predictions
+	// must stay within ~12 mV of truth-by-measurement.
+	nasSamples, _ := measureSamples(t, workloads.NASSuite()[:3])
+	if mae := m.MAE(nasSamples); mae > 0.012 {
+		t.Errorf("held-out MAE = %v V, want < 12 mV", mae)
+	}
+}
+
+func TestPredictorOrdersWorkloads(t *testing.T) {
+	samples, _ := measureSamples(t, workloads.SPEC2006())
+	m, err := Train(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Sample{}
+	for i, b := range workloads.SPEC2006() {
+		byName[b.Name] = samples[i]
+	}
+	if m.Predict(byName["mcf"].Features) >= m.Predict(byName["cactusADM"].Features) {
+		t.Error("predictor does not order mcf below cactusADM")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(make([]Sample, 3)); err == nil {
+		t.Error("too-small training set accepted")
+	}
+}
+
+func TestSuggestSafeVoltage(t *testing.T) {
+	samples, _ := measureSamples(t, workloads.SPEC2006())
+	m, err := Train(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := samples[0].Features
+	v, err := m.SuggestSafeVoltage(f, 0.010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= m.Predict(f) {
+		t.Error("guard margin not applied")
+	}
+	if v > silicon.NominalVoltage {
+		t.Error("suggestion above nominal not clamped")
+	}
+	if _, err := m.SuggestSafeVoltage(f, -0.01); err == nil {
+		t.Error("negative guard accepted")
+	}
+}
+
+func TestMAEEmpty(t *testing.T) {
+	m := &Model{coef: make([]float64, 7)}
+	if m.MAE(nil) != 0 {
+		t.Error("empty MAE should be 0")
+	}
+}
+
+func TestPlanDownclock(t *testing.T) {
+	chip, err := silicon.Fab(silicon.TTT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanDownclock(chip)
+	if len(plan.Order) != silicon.NumPMDs {
+		t.Fatalf("plan covers %d PMDs", len(plan.Order))
+	}
+	// Fig. 5: PMDs 0 and 1 are the weak ones on the TTT chip.
+	if plan.Order[0] != 0 || plan.Order[1] != 1 {
+		t.Errorf("weakest PMDs = %v, want [0 1 ...]", plan.Order)
+	}
+	freqs, err := plan.FreqAssignment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqs[0] != silicon.ReducedFreqHz || freqs[1] != silicon.ReducedFreqHz {
+		t.Error("weak PMDs not down-clocked")
+	}
+	if freqs[2] != silicon.NominalFreqHz || freqs[3] != silicon.NominalFreqHz {
+		t.Error("strong PMDs down-clocked")
+	}
+	if _, err := plan.FreqAssignment(-1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := plan.FreqAssignment(5); err == nil {
+		t.Error("k > NumPMDs accepted")
+	}
+}
+
+func TestFeaturesOf(t *testing.T) {
+	p, _ := workloads.ByName("namd")
+	ctr := microarch.Counters{Instructions: 1000, Cycles: 1500, MemAccesses: 300, L1DHits: 270, DRAMAccesses: 5}
+	f := FeaturesOf(p, ctr)
+	if f.SIMDFrac != 0.30 {
+		t.Errorf("SIMD frac = %v, want 0.30", f.SIMDFrac)
+	}
+	if f.FPFrac != 0.32 {
+		t.Errorf("FP frac = %v, want 0.32", f.FPFrac)
+	}
+	if f.MemFrac != 0.28 {
+		t.Errorf("mem frac = %v, want 0.28", f.MemFrac)
+	}
+	if f.IPC == 0 || f.MPKI == 0 || f.L1Miss == 0 {
+		t.Error("counter features missing")
+	}
+}

@@ -1,0 +1,10 @@
+package silicon
+
+import "math"
+
+// powImpl isolates the math.Pow dependency behind the domain-guarded pow
+// wrapper in silicon.go.
+func powImpl(x, a float64) float64 { return math.Pow(x, a) }
+
+// logE wraps math.Log for the interference law.
+func logE(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,410 @@
+// Package silicon models the process variation of 28 nm X-Gene2 chips: the
+// per-core voltage thresholds below which logic timing or cache SRAM fails,
+// how those thresholds scale with clock frequency, and how strongly each
+// chip's supply couples to workload-induced voltage noise.
+//
+// Three corner presets mirror the paper's chip population: the typical part
+// (TTT) and the two sigma parts obtained from socketed validation boards —
+// high-leakage/fast silicon (TFF) and low-leakage/slow silicon (TSS).
+// Preset constants are calibrated so the characterization framework
+// *rediscovers* the paper's Figure 4/6/7 results by actually undervolting
+// the simulated cores; the closed-form thresholds are never exposed to the
+// measurement flow.
+package silicon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pdn"
+	"repro/internal/xrand"
+)
+
+// Corner identifies the process corner of a chip.
+type Corner int
+
+const (
+	// TTT is the typical corner (normal production part).
+	TTT Corner = iota + 1
+	// TFF is the fast/high-leakage sigma part.
+	TFF
+	// TSS is the slow/low-leakage sigma part.
+	TSS
+)
+
+// String returns the corner mnemonic.
+func (c Corner) String() string {
+	switch c {
+	case TTT:
+		return "TTT"
+	case TFF:
+		return "TFF"
+	case TSS:
+		return "TSS"
+	default:
+		return fmt.Sprintf("Corner(%d)", int(c))
+	}
+}
+
+// Corners lists all supported process corners.
+func Corners() []Corner { return []Corner{TTT, TFF, TSS} }
+
+const (
+	// NumPMDs is the number of processor modules per chip.
+	NumPMDs = 4
+	// CoresPerPMD is the number of ARMv8 cores per PMD.
+	CoresPerPMD = 2
+	// NumCores is the total core count of the SoC.
+	NumCores = NumPMDs * CoresPerPMD
+
+	// NominalVoltage is the manufacturer PMD-domain supply (volts).
+	NominalVoltage = 0.980
+	// NominalFreqHz is the shipped core clock.
+	NominalFreqHz = 2.4e9
+	// ReducedFreqHz is the DVFS step used in the paper's Fig. 5 trade-off.
+	ReducedFreqHz = 1.2e9
+
+	// Alpha-power-law delay model parameters (28 nm class). Chosen so a
+	// core that meets timing at ~880 mV/2.4 GHz meets it at ~737 mV/1.2 GHz,
+	// the ~140 mV relief the Fig. 5 ladder's last step relies on.
+	alphaPower = 1.1
+	thresholdV = 0.62
+
+	// Droop model constants (see Chip.DroopMV). Calibrated jointly with the
+	// corner specs and the workload profiles so the framework measures the
+	// paper's Fig. 4 Vmin range (860-885 mV on TTT) and Fig. 5 voltage
+	// ladder (915/900/885/875 mV) on the 5 mV search grid.
+	// avgCurrentMVPerA is kept low enough relative to the resonant
+	// coupling that a resonance-tuned loop (avg ~4.5 A, full resonant
+	// content) out-droops a uniform max-power loop (avg 8 A, none) on all
+	// corners — the property the dI/dt virus search exploits.
+	avgCurrentMVPerA = 4.2 // mV of droop per ampere of mean current
+	// Cross-core switching interference grows sub-linearly with the number
+	// of simultaneously active full-speed cores (phase decorrelation):
+	// interference = interferenceMV * ln(1 + fastCores). The concavity is
+	// what lets the Fig. 4 single-core range (860-885 mV) and the Fig. 5
+	// eight-core ladder (915/900/885/875 mV) hold simultaneously.
+	interferenceMV = 6.0
+	resRefCurrentA = 4.4 // resonant current of an ideal FPSIMD/NOP square wave
+)
+
+// CoreID addresses one core on the chip.
+type CoreID struct {
+	PMD  int // 0..3
+	Core int // 0..1 within the PMD
+}
+
+// Index returns the flat core index in [0, NumCores).
+func (id CoreID) Index() int { return id.PMD*CoresPerPMD + id.Core }
+
+// Valid reports whether the ID addresses an existing core.
+func (id CoreID) Valid() bool {
+	return id.PMD >= 0 && id.PMD < NumPMDs && id.Core >= 0 && id.Core < CoresPerPMD
+}
+
+// String formats the ID as "pmdP.cC".
+func (id CoreID) String() string { return fmt.Sprintf("pmd%d.c%d", id.PMD, id.Core) }
+
+// AllCores enumerates every core ID on a chip.
+func AllCores() []CoreID {
+	out := make([]CoreID, 0, NumCores)
+	for p := 0; p < NumPMDs; p++ {
+		for c := 0; c < CoresPerPMD; c++ {
+			out = append(out, CoreID{PMD: p, Core: c})
+		}
+	}
+	return out
+}
+
+// CoreParams holds the fabricated voltage-threshold parameters of one core.
+type CoreParams struct {
+	// VthreshSRAM is the first-failure supply voltage (volts) at the
+	// nominal 2.4 GHz clock: below it (after droop) the core's cache SRAM
+	// arrays start flipping bits.
+	VthreshSRAM float64
+	// SRAMLeadV is how far the SRAM threshold sits above the logic timing
+	// threshold (volts, >= 0). Descending through the lead region produces
+	// cache errors; crossing below it crashes the core.
+	SRAMLeadV float64
+}
+
+// VcritLogic24 returns the logic timing threshold at 2.4 GHz.
+func (p CoreParams) VcritLogic24() float64 { return p.VthreshSRAM - p.SRAMLeadV }
+
+// scaleThreshold translates a threshold calibrated at NominalFreqHz to
+// another clock frequency by inverting the alpha-power delay model
+// f(V) = K (V - Vth)^alpha / V.
+func scaleThreshold(v24, freqHz float64) float64 {
+	if freqHz <= 0 {
+		return thresholdV
+	}
+	if freqHz == NominalFreqHz {
+		return v24
+	}
+	k := NominalFreqHz * v24 / pow(v24-thresholdV, alphaPower)
+	// Bisection for f(V) = freqHz on [Vth+1mV, 1.4V].
+	lo, hi := thresholdV+0.001, 1.4
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		f := k * pow(mid-thresholdV, alphaPower) / mid
+		if f < freqHz {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func pow(x, a float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// math.Pow is fine; wrapped to centralize the domain guard.
+	return powImpl(x, a)
+}
+
+// VthreshAt returns the SRAM (first-failure) threshold at the given clock.
+func (p CoreParams) VthreshAt(freqHz float64) float64 {
+	return scaleThreshold(p.VthreshSRAM, freqHz)
+}
+
+// VcritLogicAt returns the logic timing threshold at the given clock.
+func (p CoreParams) VcritLogicAt(freqHz float64) float64 {
+	return scaleThreshold(p.VcritLogic24(), freqHz)
+}
+
+// Chip is one fabricated X-Gene2 die.
+type Chip struct {
+	Serial string
+	Corner Corner
+	// DroopScale multiplies workload-power-driven droop on this die
+	// (package/PDN variation across parts).
+	DroopScale float64
+	// ResCoupleMV is the additional droop (mV) a waveform with full
+	// resonant content induces — the inter-chip sensitivity Fig. 7 exposes.
+	ResCoupleMV float64
+	// LeakageFactor scales static power vs the typical part.
+	LeakageFactor float64
+	// Net is the die's power-delivery network.
+	Net pdn.Network
+
+	cores [NumCores]CoreParams
+}
+
+// cornerSpec is the calibrated fabrication recipe for a corner.
+type cornerSpec struct {
+	// pmdBaseMV is the SRAM threshold at 2.4 GHz of the weaker core of
+	// each PMD, in millivolts. PMD0 is the weakest module, matching the
+	// paper's observation that PMDs 0 and 1 limit the chip.
+	pmdBaseMV   [NumPMDs]float64
+	droopScale  float64
+	resCoupleMV float64
+	leakage     float64
+}
+
+// Corner calibration (see DESIGN.md "Key model design decisions"):
+//   - TTT robust core 851 mV + unit droop scale spans Fig. 4's 860-885 mV.
+//   - TFF thresholds slightly higher but droop-insensitive (scale 0.6)
+//     => Fig. 4 spans 870-885 mV; huge resonant coupling => virus Vmin 960 mV.
+//   - TSS slow silicon with strong droop coupling => Fig. 4 spans
+//     870-900 mV and the virus crashes it ~10 mV below nominal (Fig. 7).
+var cornerSpecs = map[Corner]cornerSpec{
+	TTT: {
+		pmdBaseMV:   [NumPMDs]float64{880, 868, 856, 852},
+		droopScale:  1.0,
+		resCoupleMV: 16.9,
+		leakage:     1.0,
+	},
+	TFF: {
+		pmdBaseMV:   [NumPMDs]float64{885, 878, 872, 865},
+		droopScale:  0.522,
+		resCoupleMV: 63.0,
+		leakage:     1.65,
+	},
+	TSS: {
+		pmdBaseMV:   [NumPMDs]float64{890, 881, 872, 856},
+		droopScale:  1.2,
+		resCoupleMV: 54.3,
+		leakage:     0.55,
+	},
+}
+
+// Fab fabricates a chip of the given corner. The seed drives the small
+// within-die random variation; the same (corner, seed) pair always yields
+// an identical die. Serial numbers encode corner and seed for log files.
+func Fab(corner Corner, seed uint64) (*Chip, error) {
+	spec, ok := cornerSpecs[corner]
+	if !ok {
+		return nil, fmt.Errorf("silicon: unknown corner %v", corner)
+	}
+	rng := xrand.New(seed).Split("silicon/" + corner.String())
+	chip := &Chip{
+		Serial:        fmt.Sprintf("XG2-%s-%04d", corner, seed%10000),
+		Corner:        corner,
+		DroopScale:    spec.droopScale,
+		ResCoupleMV:   spec.resCoupleMV,
+		LeakageFactor: spec.leakage,
+		Net:           pdn.Default(),
+	}
+	for _, id := range AllCores() {
+		baseMV := spec.pmdBaseMV[id.PMD]
+		if id.Core == 1 {
+			// The second core of each PMD fabs slightly more robust,
+			// giving the "most robust core" Fig. 4 reports.
+			baseMV -= 4
+		}
+		baseMV += rng.NormMS(0, 0.5) // within-die random variation
+		lead := 2 + 3*rng.Float64()  // SRAM fails 2-5 mV before logic
+		chip.cores[id.Index()] = CoreParams{
+			VthreshSRAM: baseMV / 1000,
+			SRAMLeadV:   lead / 1000,
+		}
+	}
+	return chip, nil
+}
+
+// Core returns the fabricated parameters of the addressed core.
+func (c *Chip) Core(id CoreID) (CoreParams, error) {
+	if !id.Valid() {
+		return CoreParams{}, fmt.Errorf("silicon: invalid core ID %+v", id)
+	}
+	return c.cores[id.Index()], nil
+}
+
+// MostRobustCore returns the core with the lowest first-failure threshold
+// at 2.4 GHz — the core Fig. 4 characterizes.
+func (c *Chip) MostRobustCore() CoreID {
+	best := CoreID{}
+	bestV := c.cores[0].VthreshSRAM
+	for _, id := range AllCores() {
+		if v := c.cores[id.Index()].VthreshSRAM; v < bestV {
+			bestV = v
+			best = id
+		}
+	}
+	return best
+}
+
+// WeakestCore returns the core with the highest first-failure threshold,
+// which limits whole-chip undervolting.
+func (c *Chip) WeakestCore() CoreID {
+	worst := CoreID{}
+	worstV := c.cores[0].VthreshSRAM
+	for _, id := range AllCores() {
+		if v := c.cores[id.Index()].VthreshSRAM; v > worstV {
+			worstV = v
+			worst = id
+		}
+	}
+	return worst
+}
+
+// PMDWeakness ranks PMDs from weakest (highest threshold) to strongest;
+// used by the Fig. 5 scheduler to pick which modules to down-clock first.
+func (c *Chip) PMDWeakness() []int {
+	type pv struct {
+		pmd int
+		v   float64
+	}
+	pvs := make([]pv, NumPMDs)
+	for p := 0; p < NumPMDs; p++ {
+		v0 := c.cores[CoreID{PMD: p, Core: 0}.Index()].VthreshSRAM
+		v1 := c.cores[CoreID{PMD: p, Core: 1}.Index()].VthreshSRAM
+		if v1 > v0 {
+			v0 = v1
+		}
+		pvs[p] = pv{pmd: p, v: v0}
+	}
+	// Insertion sort by descending threshold (N=4).
+	for i := 1; i < len(pvs); i++ {
+		for j := i; j > 0 && pvs[j].v > pvs[j-1].v; j-- {
+			pvs[j], pvs[j-1] = pvs[j-1], pvs[j]
+		}
+	}
+	out := make([]int, NumPMDs)
+	for i, e := range pvs {
+		out[i] = e.pmd
+	}
+	return out
+}
+
+// DroopInput captures the workload features that induce supply droop.
+type DroopInput struct {
+	// AvgCurrentA is the mean per-core current of the running code.
+	AvgCurrentA float64
+	// ResonantCurrentA is the PDN-resonance-aligned AC content (amperes),
+	// as produced by pdn.Network.Analyze.
+	ResonantCurrentA float64
+	// ActiveFastCores counts cores running at full clock; cross-core
+	// switching interference grows with it.
+	ActiveFastCores int
+}
+
+// DroopMV returns the worst-case supply droop (millivolts) this chip
+// experiences for the given activity. The resonant term saturates at the
+// ideal-square-wave reference so a virus cannot extract unbounded droop.
+func (c *Chip) DroopMV(in DroopInput) float64 {
+	if in.ActiveFastCores < 0 {
+		in.ActiveFastCores = 0
+	}
+	interference := interferenceMV * logE(1+float64(in.ActiveFastCores))
+	base := avgCurrentMVPerA*in.AvgCurrentA + interference
+	resFrac := in.ResonantCurrentA / resRefCurrentA
+	if resFrac > 1 {
+		resFrac = 1
+	}
+	if resFrac < 0 {
+		resFrac = 0
+	}
+	return c.DroopScale*base + c.ResCoupleMV*resFrac
+}
+
+// FailureMode classifies what breaks first when a core is undervolted.
+type FailureMode int
+
+const (
+	// NoFailure means the operating point is safe for this activity.
+	NoFailure FailureMode = iota + 1
+	// CacheFailure means cache SRAM bits flip (CE/UE/SDC territory).
+	CacheFailure
+	// LogicFailure means pipeline timing is violated (crash/hang).
+	LogicFailure
+)
+
+// String names the failure mode.
+func (m FailureMode) String() string {
+	switch m {
+	case NoFailure:
+		return "none"
+	case CacheFailure:
+		return "cache"
+	case LogicFailure:
+		return "logic"
+	default:
+		return fmt.Sprintf("FailureMode(%d)", int(m))
+	}
+}
+
+// Evaluate determines the failure mode of one core at an operating point.
+// supplyV is the rail voltage, droopMV the workload-induced noise, and
+// cacheStress whether the running code exercises the cache arrays hard
+// enough to expose SRAM weakness (if not, only logic timing matters).
+func (c *Chip) Evaluate(id CoreID, freqHz, supplyV, droopMV float64, cacheStress bool) (FailureMode, error) {
+	if !id.Valid() {
+		return 0, fmt.Errorf("silicon: invalid core ID %+v", id)
+	}
+	if supplyV <= 0 || freqHz <= 0 {
+		return 0, errors.New("silicon: non-positive operating point")
+	}
+	p := c.cores[id.Index()]
+	veff := supplyV - droopMV/1000
+	switch {
+	case veff < p.VcritLogicAt(freqHz):
+		return LogicFailure, nil
+	case cacheStress && veff < p.VthreshAt(freqHz):
+		return CacheFailure, nil
+	default:
+		return NoFailure, nil
+	}
+}

@@ -1,0 +1,297 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustFab(t *testing.T, corner Corner, seed uint64) *Chip {
+	t.Helper()
+	chip, err := Fab(corner, seed)
+	if err != nil {
+		t.Fatalf("Fab(%v, %d): %v", corner, seed, err)
+	}
+	return chip
+}
+
+func TestCornerString(t *testing.T) {
+	if TTT.String() != "TTT" || TFF.String() != "TFF" || TSS.String() != "TSS" {
+		t.Error("corner names wrong")
+	}
+	if Corner(9).String() == "" {
+		t.Error("unknown corner should still format")
+	}
+	if len(Corners()) != 3 {
+		t.Error("Corners() should list 3 corners")
+	}
+}
+
+func TestFabDeterministic(t *testing.T) {
+	a := mustFab(t, TTT, 1)
+	b := mustFab(t, TTT, 1)
+	for _, id := range AllCores() {
+		pa, _ := a.Core(id)
+		pb, _ := b.Core(id)
+		if pa != pb {
+			t.Fatalf("same seed fabbed different cores at %v: %+v vs %+v", id, pa, pb)
+		}
+	}
+	c := mustFab(t, TTT, 2)
+	diff := false
+	for _, id := range AllCores() {
+		pa, _ := a.Core(id)
+		pc, _ := c.Core(id)
+		if pa != pc {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds fabbed identical chips")
+	}
+}
+
+func TestFabUnknownCorner(t *testing.T) {
+	if _, err := Fab(Corner(42), 1); err == nil {
+		t.Error("unknown corner accepted")
+	}
+}
+
+func TestCoreIDHelpers(t *testing.T) {
+	ids := AllCores()
+	if len(ids) != NumCores {
+		t.Fatalf("AllCores returned %d, want %d", len(ids), NumCores)
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if !id.Valid() {
+			t.Errorf("%v invalid", id)
+		}
+		if seen[id.Index()] {
+			t.Errorf("duplicate index %d", id.Index())
+		}
+		seen[id.Index()] = true
+	}
+	if (CoreID{PMD: 4, Core: 0}).Valid() || (CoreID{PMD: 0, Core: 2}).Valid() ||
+		(CoreID{PMD: -1, Core: 0}).Valid() {
+		t.Error("out-of-range core IDs reported valid")
+	}
+	if (CoreID{PMD: 1, Core: 1}).String() != "pmd1.c1" {
+		t.Error("CoreID String format changed")
+	}
+}
+
+func TestThresholdRangesPerCorner(t *testing.T) {
+	// Fabricated thresholds must sit in the bands the Fig. 4 calibration
+	// requires (robust core low end, weakest core high end), at 2.4 GHz.
+	cases := []struct {
+		corner               Corner
+		robustLo, robustHi   float64 // volts
+		weakestLo, weakestHi float64
+	}{
+		{TTT, 0.844, 0.852, 0.875, 0.886},
+		{TFF, 0.857, 0.865, 0.880, 0.890},
+		{TSS, 0.848, 0.856, 0.885, 0.895},
+	}
+	for _, c := range cases {
+		for seed := uint64(1); seed <= 5; seed++ {
+			chip := mustFab(t, c.corner, seed)
+			rp, _ := chip.Core(chip.MostRobustCore())
+			wp, _ := chip.Core(chip.WeakestCore())
+			if rp.VthreshSRAM < c.robustLo || rp.VthreshSRAM > c.robustHi {
+				t.Errorf("%v seed %d: robust threshold %v outside [%v, %v]",
+					c.corner, seed, rp.VthreshSRAM, c.robustLo, c.robustHi)
+			}
+			if wp.VthreshSRAM < c.weakestLo || wp.VthreshSRAM > c.weakestHi {
+				t.Errorf("%v seed %d: weakest threshold %v outside [%v, %v]",
+					c.corner, seed, wp.VthreshSRAM, c.weakestLo, c.weakestHi)
+			}
+		}
+	}
+}
+
+func TestSRAMLeadNonNegative(t *testing.T) {
+	for _, corner := range Corners() {
+		chip := mustFab(t, corner, 3)
+		for _, id := range AllCores() {
+			p, err := chip.Core(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.SRAMLeadV < 0 || p.SRAMLeadV > 0.01 {
+				t.Errorf("%v %v: SRAM lead %v out of [0, 10mV]", corner, id, p.SRAMLeadV)
+			}
+			if p.VcritLogic24() >= p.VthreshSRAM {
+				t.Errorf("%v %v: logic threshold must sit below SRAM threshold", corner, id)
+			}
+		}
+	}
+}
+
+func TestPMD0IsWeakest(t *testing.T) {
+	// The Fig. 5 ladder relies on PMD0/PMD1 being the weak modules.
+	chip := mustFab(t, TTT, 1)
+	order := chip.PMDWeakness()
+	if order[0] != 0 || order[1] != 1 {
+		t.Errorf("PMD weakness order = %v, want PMD0 then PMD1 first", order)
+	}
+}
+
+func TestFrequencyScalingRelief(t *testing.T) {
+	chip := mustFab(t, TTT, 1)
+	p, _ := chip.Core(chip.WeakestCore())
+	v24 := p.VthreshAt(NominalFreqHz)
+	v12 := p.VthreshAt(ReducedFreqHz)
+	relief := (v24 - v12) * 1000
+	if relief < 120 || relief > 165 {
+		t.Errorf("halving clock relieved %v mV, want 120-165 (Fig. 5 ladder)", relief)
+	}
+	// Threshold must be monotone in frequency.
+	prev := 0.0
+	for _, f := range []float64{0.8e9, 1.2e9, 1.6e9, 2.0e9, 2.4e9, 2.8e9} {
+		v := p.VthreshAt(f)
+		if v <= prev {
+			t.Errorf("threshold not increasing with frequency at %v", f)
+		}
+		prev = v
+	}
+}
+
+func TestScaleThresholdIdentityAtNominal(t *testing.T) {
+	if err := quick.Check(func(raw uint8) bool {
+		v := 0.7 + float64(raw)/1000 // 0.7 .. 0.955
+		return math.Abs(scaleThreshold(v, NominalFreqHz)-v) < 1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDroopModel(t *testing.T) {
+	chip := mustFab(t, TTT, 1)
+	// Droop grows with each input dimension.
+	base := chip.DroopMV(DroopInput{AvgCurrentA: 3, ActiveFastCores: 1})
+	moreCurrent := chip.DroopMV(DroopInput{AvgCurrentA: 6, ActiveFastCores: 1})
+	moreCores := chip.DroopMV(DroopInput{AvgCurrentA: 3, ActiveFastCores: 8})
+	moreRes := chip.DroopMV(DroopInput{AvgCurrentA: 3, ResonantCurrentA: 2, ActiveFastCores: 1})
+	if !(moreCurrent > base && moreCores > base && moreRes > base) {
+		t.Errorf("droop not monotone: base=%v current=%v cores=%v res=%v",
+			base, moreCurrent, moreCores, moreRes)
+	}
+	// Resonant term saturates at the square-wave reference.
+	atRef := chip.DroopMV(DroopInput{ResonantCurrentA: resRefCurrentA})
+	beyond := chip.DroopMV(DroopInput{ResonantCurrentA: resRefCurrentA * 10})
+	if beyond != atRef {
+		t.Errorf("resonant droop should saturate: %v vs %v", beyond, atRef)
+	}
+	// Negative inputs are clamped.
+	if d := chip.DroopMV(DroopInput{AvgCurrentA: 0, ResonantCurrentA: -3, ActiveFastCores: -2}); d != 0 {
+		t.Errorf("negative inputs produced droop %v", d)
+	}
+}
+
+func TestResonantCouplingOrderAcrossCorners(t *testing.T) {
+	// Fig. 7: sigma parts are far more sensitive to the resonant virus.
+	ttt := mustFab(t, TTT, 1)
+	tff := mustFab(t, TFF, 1)
+	tss := mustFab(t, TSS, 1)
+	in := DroopInput{AvgCurrentA: 4.5, ResonantCurrentA: resRefCurrentA, ActiveFastCores: 1}
+	dTTT, dTFF, dTSS := ttt.DroopMV(in), tff.DroopMV(in), tss.DroopMV(in)
+	if !(dTFF > dTTT && dTSS > dTTT) {
+		t.Errorf("sigma parts should droop more under the virus: TTT=%v TFF=%v TSS=%v",
+			dTTT, dTFF, dTSS)
+	}
+}
+
+func TestEvaluateFailureModes(t *testing.T) {
+	chip := mustFab(t, TTT, 1)
+	id := chip.WeakestCore()
+	p, _ := chip.Core(id)
+
+	// Well above threshold: safe.
+	m, err := chip.Evaluate(id, NominalFreqHz, NominalVoltage, 0, true)
+	if err != nil || m != NoFailure {
+		t.Fatalf("nominal point: %v, %v", m, err)
+	}
+	// Inside the SRAM lead band with cache stress: cache failure.
+	v := p.VthreshSRAM - p.SRAMLeadV/2
+	m, err = chip.Evaluate(id, NominalFreqHz, v, 0, true)
+	if err != nil || m != CacheFailure {
+		t.Fatalf("lead band cache-stressed: %v, %v", m, err)
+	}
+	// Same voltage without cache stress: still safe (logic margin holds).
+	m, err = chip.Evaluate(id, NominalFreqHz, v, 0, false)
+	if err != nil || m != NoFailure {
+		t.Fatalf("lead band non-cache: %v, %v", m, err)
+	}
+	// Below logic threshold: crash regardless of cache stress.
+	v = p.VcritLogic24() - 0.002
+	m, err = chip.Evaluate(id, NominalFreqHz, v, 0, false)
+	if err != nil || m != LogicFailure {
+		t.Fatalf("below logic threshold: %v, %v", m, err)
+	}
+	// Droop shifts the effective voltage: nominal rail + huge droop fails.
+	m, err = chip.Evaluate(id, NominalFreqHz, NominalVoltage, 150, false)
+	if err != nil || m != LogicFailure {
+		t.Fatalf("big droop at nominal: %v, %v", m, err)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	chip := mustFab(t, TTT, 1)
+	if _, err := chip.Evaluate(CoreID{PMD: 9}, NominalFreqHz, 1, 0, false); err == nil {
+		t.Error("invalid core accepted")
+	}
+	if _, err := chip.Evaluate(CoreID{}, 0, 1, 0, false); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := chip.Evaluate(CoreID{}, NominalFreqHz, 0, 0, false); err == nil {
+		t.Error("zero voltage accepted")
+	}
+}
+
+func TestCoreErrors(t *testing.T) {
+	chip := mustFab(t, TTT, 1)
+	if _, err := chip.Core(CoreID{PMD: -1}); err == nil {
+		t.Error("invalid core ID accepted")
+	}
+}
+
+func TestFailureModeString(t *testing.T) {
+	if NoFailure.String() != "none" || CacheFailure.String() != "cache" || LogicFailure.String() != "logic" {
+		t.Error("failure mode names wrong")
+	}
+	if FailureMode(0).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}
+
+func TestLeakageOrdering(t *testing.T) {
+	ttt := mustFab(t, TTT, 1)
+	tff := mustFab(t, TFF, 1)
+	tss := mustFab(t, TSS, 1)
+	if !(tff.LeakageFactor > ttt.LeakageFactor && ttt.LeakageFactor > tss.LeakageFactor) {
+		t.Errorf("leakage ordering TFF > TTT > TSS violated: %v %v %v",
+			tff.LeakageFactor, ttt.LeakageFactor, tss.LeakageFactor)
+	}
+}
+
+func TestEvaluateMonotoneInVoltage(t *testing.T) {
+	// Property: if a voltage is safe, every higher voltage is safe too.
+	chip := mustFab(t, TTT, 7)
+	id := CoreID{PMD: 0, Core: 0}
+	if err := quick.Check(func(rawV, rawD uint8) bool {
+		v := 0.7 + float64(rawV)*0.0015 // 0.700 .. 1.0825
+		d := float64(rawD % 40)
+		m1, err1 := chip.Evaluate(id, NominalFreqHz, v, d, true)
+		m2, err2 := chip.Evaluate(id, NominalFreqHz, v+0.05, d, true)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if m1 == NoFailure && m2 != NoFailure {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

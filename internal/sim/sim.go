@@ -1,0 +1,156 @@
+// Package sim provides a minimal discrete-event simulation kernel used to
+// give the characterization framework a virtual notion of time: benchmark
+// run durations, watchdog timeouts, reset/reboot delays and thermal
+// controller ticks all advance the same simulated clock instead of wall
+// time, so whole campaigns that took the paper's authors days execute in
+// milliseconds and remain fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func()
+	id  uint64
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) {
+	*q = append(*q, x.(*event))
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulation clock. The zero value is ready to
+// use and starts at time zero.
+type Clock struct {
+	now      time.Duration
+	queue    eventQueue
+	seq      uint64
+	nextID   uint64
+	canceled map[uint64]bool
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// Schedule registers fn to run delay after the current simulated time.
+// Negative delays are treated as zero. It returns an ID usable with Cancel.
+func (c *Clock) Schedule(delay time.Duration, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	c.seq++
+	c.nextID++
+	e := &event{at: c.now + delay, seq: c.seq, fn: fn, id: c.nextID}
+	heap.Push(&c.queue, e)
+	return EventID(c.nextID)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already-fired
+// or unknown event is a no-op.
+func (c *Clock) Cancel(id EventID) {
+	if c.canceled == nil {
+		c.canceled = make(map[uint64]bool)
+	}
+	c.canceled[uint64(id)] = true
+}
+
+// Step runs the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was run.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		e := heap.Pop(&c.queue).(*event)
+		if c.canceled[e.id] {
+			delete(c.canceled, e.id)
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event lies
+// beyond deadline; the clock is left at min(deadline, last event time).
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for c.queue.Len() > 0 {
+		// Peek at the earliest live event.
+		e := c.queue[0]
+		if c.canceled[e.id] {
+			heap.Pop(&c.queue)
+			delete(c.canceled, e.id)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run executes all pending events (including ones scheduled by callbacks),
+// up to a safety limit, and returns the number executed. It returns an
+// error if the limit is hit, which almost always means a callback
+// self-schedules unconditionally.
+func (c *Clock) Run(limit int) (int, error) {
+	n := 0
+	for c.Step() {
+		n++
+		if n >= limit {
+			return n, errors.New("sim: event limit reached; possible runaway self-scheduling")
+		}
+	}
+	return n, nil
+}
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (c *Clock) Pending() int { return c.queue.Len() }
+
+// Advance moves the clock forward by d without running events that may be
+// scheduled within the window. It is intended for coarse "nothing happens
+// here" gaps and panics if an event would be skipped.
+func (c *Clock) Advance(d time.Duration) {
+	target := c.now + d
+	for c.queue.Len() > 0 {
+		e := c.queue[0]
+		if c.canceled[e.id] {
+			heap.Pop(&c.queue)
+			delete(c.canceled, e.id)
+			continue
+		}
+		if e.at <= target {
+			panic("sim: Advance would skip a scheduled event; use RunUntil")
+		}
+		break
+	}
+	c.now = target
+}

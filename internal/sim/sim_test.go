@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var c Clock
+	var got []int
+	c.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	c.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("event order = %v, want [1 2 3]", got)
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("clock at %v, want 30ms", c.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var c Clock
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	var c Clock
+	ran := false
+	c.Schedule(-5*time.Second, func() { ran = true })
+	c.Step()
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+	if c.Now() != 0 {
+		t.Errorf("clock moved backwards: %v", c.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var c Clock
+	ran := false
+	id := c.Schedule(time.Second, func() { ran = true })
+	c.Cancel(id)
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Cancelling twice or cancelling unknown IDs must be harmless.
+	c.Cancel(id)
+	c.Cancel(EventID(9999))
+}
+
+func TestRunUntil(t *testing.T) {
+	var c Clock
+	var got []int
+	c.Schedule(1*time.Second, func() { got = append(got, 1) })
+	c.Schedule(3*time.Second, func() { got = append(got, 3) })
+	c.RunUntil(2 * time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v, want [1]", got)
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("clock at %v, want 2s", c.Now())
+	}
+	c.RunUntil(5 * time.Second)
+	if len(got) != 2 {
+		t.Errorf("second event did not run: %v", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var c Clock
+	var got []time.Duration
+	c.Schedule(time.Second, func() {
+		got = append(got, c.Now())
+		c.Schedule(time.Second, func() {
+			got = append(got, c.Now())
+		})
+	})
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != time.Second || got[1] != 2*time.Second {
+		t.Errorf("nested schedule times = %v", got)
+	}
+}
+
+func TestRunLimitDetectsRunaway(t *testing.T) {
+	var c Clock
+	var loop func()
+	loop = func() { c.Schedule(time.Millisecond, loop) }
+	c.Schedule(0, loop)
+	if _, err := c.Run(50); err == nil {
+		t.Error("expected runaway detection error")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", c.Now())
+	}
+	c.Schedule(10*time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance over a scheduled event did not panic")
+		}
+	}()
+	c.Advance(20 * time.Second)
+}
+
+func TestAdvanceOverCancelledEventOK(t *testing.T) {
+	var c Clock
+	id := c.Schedule(time.Second, func() {})
+	c.Cancel(id)
+	c.Advance(2 * time.Second) // must not panic
+	if c.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", c.Now())
+	}
+}
+
+func TestPending(t *testing.T) {
+	var c Clock
+	if c.Pending() != 0 {
+		t.Error("fresh clock has pending events")
+	}
+	c.Schedule(time.Second, func() {})
+	c.Schedule(2*time.Second, func() {})
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", c.Pending())
+	}
+}

@@ -1,0 +1,322 @@
+// Package stats provides the small statistical toolkit the characterization
+// harness needs: summary statistics, percentiles, histograms, Kahan
+// summation, and ordinary least-squares linear regression (used by the Vmin
+// predictor).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the Kahan-compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs (0 for fewer than 2 samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := x - m
+		acc += d * d
+	}
+	return acc / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It returns ErrEmpty for an empty slice.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns ErrEmpty for an empty slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns ErrEmpty for empty input.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Spread returns (max-min)/min expressed as a fraction, the "variation"
+// measure the paper uses for bank-to-bank weak-cell counts (e.g. 41% at
+// 50 degC). It returns ErrEmpty for empty input and 0 if min is zero.
+func Spread(xs []float64) (float64, error) {
+	mn, err := Min(xs)
+	if err != nil {
+		return 0, err
+	}
+	mx, _ := Max(xs)
+	if mn == 0 {
+		return 0, nil
+	}
+	return (mx - mn) / mn, nil
+}
+
+// Summary captures the usual five-number-ish description of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	md, _ := Median(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    mn,
+		Max:    mx,
+		Median: md,
+	}, nil
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // samples below Lo
+	Over     int // samples >= Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, errors.New("stats: histogram needs hi > lo")
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Counts:   make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}, nil
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // guard against float edge cases
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of recorded samples, including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// LinearFit is the result of an ordinary least-squares fit y = Alpha + Beta·x.
+type LinearFit struct {
+	Alpha, Beta float64
+	R2          float64
+}
+
+// LinFit fits y = alpha + beta*x by least squares. It returns an error when
+// fewer than two points are supplied or x is degenerate.
+func LinFit(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, errors.New("stats: mismatched x/y lengths")
+	}
+	if len(x) < 2 {
+		return LinearFit{}, errors.New("stats: need at least two points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	beta := sxy / sxx
+	alpha := my - beta*mx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return LinearFit{Alpha: alpha, Beta: beta, R2: r2}, nil
+}
+
+// MultiLinFit fits y = b0 + b1*x1 + ... + bk*xk by solving the normal
+// equations with Gaussian elimination. rows holds one feature vector per
+// observation. It is used by the performance-counter Vmin predictor.
+func MultiLinFit(rows [][]float64, y []float64) ([]float64, error) {
+	n := len(rows)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: bad observation count")
+	}
+	k := len(rows[0])
+	for _, r := range rows {
+		if len(r) != k {
+			return nil, errors.New("stats: ragged feature rows")
+		}
+	}
+	d := k + 1 // intercept + k features
+	// Build X^T X and X^T y.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	feat := make([]float64, d)
+	for i, r := range rows {
+		feat[0] = 1
+		copy(feat[1:], r)
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				xtx[a][b] += feat[a] * feat[b]
+			}
+			xty[a] += feat[a] * y[i]
+		}
+	}
+	// Gaussian elimination with partial pivoting, with small ridge for
+	// numerical robustness on nearly collinear features.
+	for i := 0; i < d; i++ {
+		xtx[i][i] += 1e-9
+	}
+	for col := 0; col < d; col++ {
+		pivot := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(xtx[r][col]) > math.Abs(xtx[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(xtx[pivot][col]) < 1e-12 {
+			return nil, errors.New("stats: singular normal matrix")
+		}
+		xtx[col], xtx[pivot] = xtx[pivot], xtx[col]
+		xty[col], xty[pivot] = xty[pivot], xty[col]
+		inv := 1 / xtx[col][col]
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := xtx[r][col] * inv
+			for c := col; c < d; c++ {
+				xtx[r][c] -= f * xtx[col][c]
+			}
+			xty[r] -= f * xty[col]
+		}
+	}
+	coef := make([]float64, d)
+	for i := 0; i < d; i++ {
+		coef[i] = xty[i] / xtx[i][i]
+	}
+	return coef, nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanAndSum(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		mean float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEq(got, c.mean, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.mean)
+		}
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 * 1e6 accumulated naively loses the small terms.
+	xs := make([]float64, 1000001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e-10
+	if !almostEq(got, want, 1e-13) {
+		t.Errorf("Kahan sum = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	xs := []float64{3, -2, 8, 0}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -2 || mx != 8 {
+		t.Errorf("Min/Max = %v/%v, want -2/8", mn, mx)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile empty err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_, _ = Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	// Table I at 50C: min 163, max 230 -> 41% spread.
+	xs := []float64{180, 213, 228, 230, 163, 198, 204, 208}
+	got, err := Spread(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 0.411, 0.001) {
+		t.Errorf("Spread(TableI 50C) = %v, want ~0.411", got)
+	}
+	if _, err := Spread(nil); err != ErrEmpty {
+		t.Errorf("Spread(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if got := h.BinCenter(0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("expected error for hi == lo")
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := LinFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Alpha, 1, 1e-9) || !almostEq(fit.Beta, 2, 1e-9) {
+		t.Errorf("fit = %+v, want alpha 1 beta 2", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinFitErrors(t *testing.T) {
+	if _, err := LinFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := LinFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, err := LinFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for degenerate x")
+	}
+}
+
+func TestMultiLinFitExact(t *testing.T) {
+	// y = 2 + 3*x1 - x2
+	rows := [][]float64{{1, 0}, {0, 1}, {2, 1}, {3, 3}, {1, 5}}
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		y[i] = 2 + 3*r[0] - r[1]
+	}
+	coef, err := MultiLinFit(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(coef[i], want[i], 1e-6) {
+			t.Errorf("coef[%d] = %v, want %v", i, coef[i], want[i])
+		}
+	}
+}
+
+func TestMultiLinFitErrors(t *testing.T) {
+	if _, err := MultiLinFit(nil, nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := MultiLinFit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if err := quick.Check(func(x float64) bool {
+		v := Clamp(x, -1, 1)
+		return v >= -1 && v <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Clamp(0.5, -1, 1) != 0.5 {
+		t.Error("Clamp altered in-range value")
+	}
+}
+
+func TestPercentileSortedProperty(t *testing.T) {
+	// Percentile must be monotone in p.
+	if err := quick.Check(func(raw []float64, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := float64(pa%101), float64(pb%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, _ := Percentile(xs, lo)
+		b, _ := Percentile(xs, hi)
+		return a <= b
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

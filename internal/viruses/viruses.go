@@ -1,0 +1,194 @@
+// Package viruses builds the paper's diagnostic stress tests
+// (Section III.C):
+//
+//   - dI/dt viruses: instruction loops crafted by a genetic algorithm whose
+//     fitness is the EM-probe amplitude (the paper's workaround for the
+//     X-Gene2's missing fine-grained voltage telemetry). A good virus
+//     switches the core between high and low power at the PDN resonant
+//     frequency, maximizing voltage noise.
+//
+//   - cache viruses: synthetic kernels whose footprints and access patterns
+//     pin stress on one level of the hierarchy (L1I, L1D, L2, L3), used to
+//     attribute undervolting failures to cache arrays vs pipeline logic.
+//
+//   - ALU viruses: dependency-free integer/FP burn loops isolating the
+//     execution units.
+//
+//   - DPBench wrappers re-exported from internal/dram for completeness.
+package viruses
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ga"
+	"repro/internal/isa"
+	"repro/internal/silicon"
+	"repro/internal/xgene"
+	"repro/internal/xrand"
+)
+
+// DIdtConfig parameterizes the virus search.
+type DIdtConfig struct {
+	// GA is the engine configuration.
+	GA ga.Config
+	// MinLen/MaxLen bound the loop-body length in instructions.
+	MinLen, MaxLen int
+	// EMSamples is how many probe readings are averaged per fitness
+	// evaluation.
+	EMSamples int
+	// Core is where candidates execute.
+	Core silicon.CoreID
+}
+
+// DefaultDIdtConfig returns the search configuration used in the paper's
+// flow: enough generations for convergence, loop lengths spanning one to a
+// few resonant periods.
+func DefaultDIdtConfig() DIdtConfig {
+	cfg := ga.DefaultConfig()
+	cfg.Generations = 40
+	return DIdtConfig{
+		GA:        cfg,
+		MinLen:    8,
+		MaxLen:    64,
+		EMSamples: 8,
+		Core:      silicon.CoreID{PMD: 0, Core: 0},
+	}
+}
+
+// Validate reports configuration errors.
+func (c DIdtConfig) Validate() error {
+	if err := c.GA.Validate(); err != nil {
+		return err
+	}
+	if c.MinLen < 2 || c.MaxLen < c.MinLen {
+		return errors.New("viruses: bad loop length bounds")
+	}
+	if c.EMSamples <= 0 {
+		return errors.New("viruses: EM samples must be positive")
+	}
+	if !c.Core.Valid() {
+		return errors.New("viruses: invalid core")
+	}
+	return nil
+}
+
+// DIdtResult is the outcome of a virus search.
+type DIdtResult struct {
+	// Loop is the best instruction loop found.
+	Loop isa.Loop
+	// EMAmplitudeUV is its averaged EM fitness at evaluation time.
+	EMAmplitudeUV float64
+	// History tracks per-generation best fitness (convergence evidence).
+	History []ga.GenStats
+}
+
+// CraftDIdt evolves a dI/dt virus against a server using only the EM-probe
+// measurement surface — no knowledge of the chip's droop model leaks into
+// the search.
+func CraftDIdt(srv *xgene.Server, cfg DIdtConfig) (DIdtResult, error) {
+	if srv == nil {
+		return DIdtResult{}, errors.New("viruses: nil server")
+	}
+	if err := cfg.Validate(); err != nil {
+		return DIdtResult{}, err
+	}
+	classes := isa.Classes()
+	ops := ga.Ops[isa.Loop]{
+		Random: func(rng *xrandStream) isa.Loop {
+			n := cfg.MinLen + rng.Intn(cfg.MaxLen-cfg.MinLen+1)
+			body := make([]isa.Class, n)
+			for i := range body {
+				body[i] = classes[rng.Intn(len(classes))]
+			}
+			l, err := isa.NewLoop(body...)
+			if err != nil {
+				// Only possible with an empty body; n >= MinLen >= 2.
+				panic(fmt.Sprintf("viruses: random loop: %v", err))
+			}
+			return l
+		},
+		Crossover: func(a, b isa.Loop, rng *xrandStream) isa.Loop {
+			// Single-point crossover with independent cut points keeps
+			// length diversity in the population.
+			ca := rng.Intn(a.Len())
+			cb := rng.Intn(b.Len())
+			body := make([]isa.Class, 0, ca+b.Len()-cb)
+			body = append(body, a.Body[:ca]...)
+			body = append(body, b.Body[cb:]...)
+			body = clampLen(body, cfg.MinLen, cfg.MaxLen, a)
+			l, err := isa.NewLoop(body...)
+			if err != nil {
+				panic(fmt.Sprintf("viruses: crossover: %v", err))
+			}
+			return l
+		},
+		Mutate: func(g isa.Loop, rng *xrandStream) isa.Loop {
+			c := g.Clone()
+			switch rng.Intn(4) {
+			case 0: // point mutation
+				c.Body[rng.Intn(c.Len())] = classes[rng.Intn(len(classes))]
+			case 1: // duplicate a random segment (builds phase structure)
+				if c.Len() < cfg.MaxLen {
+					i := rng.Intn(c.Len())
+					j := i + rng.Intn(c.Len()-i)
+					seg := append([]isa.Class(nil), c.Body[i:j+1]...)
+					c.Body = append(c.Body, seg...)
+					c.Body = clampLen(c.Body, cfg.MinLen, cfg.MaxLen, g)
+				}
+			case 2: // delete an instruction
+				if c.Len() > cfg.MinLen {
+					i := rng.Intn(c.Len())
+					c.Body = append(c.Body[:i], c.Body[i+1:]...)
+				}
+			default: // swap two instructions
+				i, j := rng.Intn(c.Len()), rng.Intn(c.Len())
+				c.Body[i], c.Body[j] = c.Body[j], c.Body[i]
+			}
+			return c
+		},
+		Fitness: func(g isa.Loop) float64 {
+			em, err := srv.MeasureEM(g, cfg.Core, cfg.EMSamples)
+			if err != nil {
+				// Unmeasurable candidates score at the noise floor.
+				return 0
+			}
+			return em
+		},
+	}
+	res, err := ga.Run(cfg.GA, ops)
+	if err != nil {
+		return DIdtResult{}, err
+	}
+	return DIdtResult{
+		Loop:          res.Best,
+		EMAmplitudeUV: res.BestFitness,
+		History:       res.History,
+	}, nil
+}
+
+// xrandStream aliases the engine's RNG type to keep operator signatures
+// readable.
+type xrandStream = xrand.Stream
+
+// clampLen trims or pads a body into [min, max] using filler from a parent.
+func clampLen(body []isa.Class, minLen, maxLen int, parent isa.Loop) []isa.Class {
+	if len(body) > maxLen {
+		body = body[:maxLen]
+	}
+	for len(body) < minLen {
+		body = append(body, parent.Body[len(body)%parent.Len()])
+	}
+	return body
+}
+
+// ResonanceQuality reports how much of the theoretical square-wave
+// resonant content a loop achieves on a server's PDN, in [0, ~1].
+func ResonanceQuality(srv *xgene.Server, loop isa.Loop, core silicon.CoreID) (float64, error) {
+	_, resA, err := srv.LoopFeatures(loop, core)
+	if err != nil {
+		return 0, err
+	}
+	ideal := srv.Chip().Net.SquareWaveFeatures(isa.MinCurrentA(), isa.MaxCurrentA())
+	return resA / ideal.ResonantCurrentA, nil
+}

@@ -1,0 +1,89 @@
+package xgene
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/microarch"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+// LoopFeatures computes the PDN-relevant features of an instruction loop
+// running on this server's die at one core's clock: the per-cycle current
+// waveform is projected onto the chip's impedance curve.
+func (s *Server) LoopFeatures(loop isa.Loop, coreID silicon.CoreID) (avgA, resonantA float64, err error) {
+	if !coreID.Valid() {
+		return 0, 0, fmt.Errorf("xgene: invalid core %+v", coreID)
+	}
+	exec, err := loop.Execute()
+	if err != nil {
+		return 0, 0, err
+	}
+	feats, err := s.chip.Net.Analyze(exec.Waveform, s.pmdFreqHz[coreID.PMD])
+	if err != nil {
+		return 0, 0, err
+	}
+	return feats.AvgCurrentA, feats.ResonantCurrentA, nil
+}
+
+// MeasureEM runs a candidate loop on one core and returns the averaged EM
+// probe amplitude — the fitness signal of the dI/dt virus search. The
+// voltage rail is untouched (the paper measures EM at nominal voltage,
+// where nothing crashes).
+func (s *Server) MeasureEM(loop isa.Loop, coreID silicon.CoreID, samples int) (float64, error) {
+	avgA, resA, err := s.LoopFeatures(loop, coreID)
+	if err != nil {
+		return 0, err
+	}
+	droop := s.chip.DroopMV(silicon.DroopInput{
+		AvgCurrentA:      avgA,
+		ResonantCurrentA: resA,
+		ActiveFastCores:  1,
+	})
+	return s.probe.MeasureAvg(droop, samples)
+}
+
+// LoopProfile wraps an instruction loop as a workload profile so the
+// characterization framework can Vmin-test a crafted virus exactly like a
+// named benchmark. The loop's waveform determines its droop features; the
+// memory image is a tiny resident kernel (viruses live in L1).
+func (s *Server) LoopProfile(name string, loop isa.Loop, coreID silicon.CoreID) (workloads.Profile, error) {
+	avgA, resA, err := s.LoopFeatures(loop, coreID)
+	if err != nil {
+		return workloads.Profile{}, err
+	}
+	// Reconstruct the loop's class mix for the profile.
+	counts := map[isa.Class]int{}
+	for _, c := range loop.Body {
+		counts[c]++
+	}
+	mix := isa.Mix{}
+	for c, n := range counts {
+		mix[c] = float64(n) / float64(loop.Len())
+	}
+	// The droop model consumes AvgCurrentA via the mix; for a virus the
+	// mix-derived average equals the waveform average by construction, and
+	// the resonant content rides in ResonantCurrentA.
+	_ = avgA
+	return workloads.Profile{
+		Name:   name,
+		Suite:  workloads.Synthetic,
+		Mix:    mix,
+		Stream: microarch.StreamSpec{FootprintBytes: 16 << 10, SeqFrac: 1},
+		Mem: dram.WorkloadMem{
+			FootprintBytes: 1 << 20,
+			HotFraction:    1,
+			ReuseInterval:  time.Millisecond,
+			RandomDataFrac: 0,
+		},
+		ResonantCurrentA: resA,
+		// dI/dt viruses hammer the execution units, not the cache arrays:
+		// their failures are logic-timing crashes (Section III.C).
+		CacheStress:      false,
+		DRAMBandwidthGBs: 0.1,
+		Duration:         10 * time.Second,
+	}, nil
+}

@@ -1,0 +1,46 @@
+package xgene
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the outcome as its string abbreviation, matching the
+// framework's log-file format.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON decodes the string abbreviation back to an Outcome.
+func (o *Outcome) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseOutcome(s)
+	if err != nil {
+		return err
+	}
+	*o = parsed
+	return nil
+}
+
+// ParseOutcome converts the log-file abbreviation to an Outcome.
+func ParseOutcome(s string) (Outcome, error) {
+	switch s {
+	case "OK":
+		return OutcomeOK, nil
+	case "CE":
+		return OutcomeCE, nil
+	case "UE":
+		return OutcomeUE, nil
+	case "SDC":
+		return OutcomeSDC, nil
+	case "crash":
+		return OutcomeCrash, nil
+	case "hang":
+		return OutcomeHang, nil
+	default:
+		return 0, fmt.Errorf("xgene: unknown outcome %q", s)
+	}
+}

@@ -1,0 +1,294 @@
+package xgene
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/microarch"
+	"repro/internal/power"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+// Outcome classifies one run the way the paper's parsing phase does.
+type Outcome int
+
+const (
+	// OutcomeOK is a clean run with output matching the golden reference.
+	OutcomeOK Outcome = iota + 1
+	// OutcomeCE means only corrected errors were reported (ECC/parity).
+	OutcomeCE
+	// OutcomeUE means an uncorrectable error was detected and reported.
+	OutcomeUE
+	// OutcomeSDC means the output mismatched the golden reference with no
+	// error reported — silent data corruption.
+	OutcomeSDC
+	// OutcomeCrash means the OS or the process died (panic, machine check).
+	OutcomeCrash
+	// OutcomeHang means the machine stopped responding; only the
+	// framework's watchdog recovers it.
+	OutcomeHang
+)
+
+// String names the outcome with the paper's abbreviations.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "OK"
+	case OutcomeCE:
+		return "CE"
+	case OutcomeUE:
+		return "UE"
+	case OutcomeSDC:
+		return "SDC"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Severity orders outcomes from benign to catastrophic.
+func (o Outcome) Severity() int {
+	switch o {
+	case OutcomeOK:
+		return 0
+	case OutcomeCE:
+		return 1
+	case OutcomeUE:
+		return 2
+	case OutcomeSDC:
+		return 3
+	case OutcomeCrash:
+		return 4
+	case OutcomeHang:
+		return 5
+	default:
+		return -1
+	}
+}
+
+// IsFailure reports whether the outcome counts against a "safe" operating
+// point. Corrected errors do not disrupt operation but the paper's safe
+// Vmin is the point of fully clean execution, so CE counts as a failure
+// for Vmin purposes; callers can use Severity for laxer policies.
+func (o Outcome) IsFailure() bool { return o != OutcomeOK }
+
+// RunSpec describes one characterization run.
+type RunSpec struct {
+	// Workload is the benchmark profile to execute.
+	Workload workloads.Profile
+	// Cores lists where instances run (one process per listed core).
+	Cores []silicon.CoreID
+	// Seed drives run-to-run variation (droop jitter, DRAM VRT state,
+	// failure-mode draws). Campaigns pass distinct seeds per repetition.
+	Seed uint64
+}
+
+// Validate reports spec errors.
+func (r RunSpec) Validate() error {
+	if err := r.Workload.Validate(); err != nil {
+		return err
+	}
+	if len(r.Cores) == 0 {
+		return errors.New("xgene: run needs at least one core")
+	}
+	seen := map[int]bool{}
+	for _, id := range r.Cores {
+		if !id.Valid() {
+			return fmt.Errorf("xgene: invalid core %+v", id)
+		}
+		if seen[id.Index()] {
+			return fmt.Errorf("xgene: core %v listed twice", id)
+		}
+		seen[id.Index()] = true
+	}
+	return nil
+}
+
+// RunResult is everything a run reports back to the framework.
+type RunResult struct {
+	Outcome Outcome
+	// FailingCore is set for crash/hang/cache-error outcomes.
+	FailingCore silicon.CoreID
+	// DroopMV is the supply noise the run induced (the quantity the EM
+	// probe senses; not observable directly on the real board).
+	DroopMV float64
+	// Counters holds the performance counters of one instance.
+	Counters microarch.Counters
+	// Power is the SLIMpro power-sensor breakdown during the run.
+	Power power.Breakdown
+	// DRAMCE/UE/SDC count memory errors reported by the MCU ECC.
+	DRAMCE, DRAMUE, DRAMSDC int
+	// Duration is the simulated wall time of the run.
+	Duration time.Duration
+	// PerfRatio is delivered throughput relative to all-cores-nominal.
+	PerfRatio float64
+}
+
+// activeFastCores counts run cores whose PMD runs at the nominal clock.
+func (s *Server) activeFastCores(cores []silicon.CoreID) int {
+	n := 0
+	for _, id := range cores {
+		if s.pmdFreqHz[id.PMD] >= silicon.NominalFreqHz {
+			n++
+		}
+	}
+	return n
+}
+
+// counters returns (and caches) the performance counters of a profile; they
+// do not depend on voltage, so one cache-hierarchy simulation per workload
+// suffices for a whole undervolting campaign.
+func (s *Server) counters(p workloads.Profile) (microarch.Counters, error) {
+	if c, ok := s.counterCache[p.Name]; ok {
+		return c, nil
+	}
+	c, err := microarch.Simulate(p.Mix, p.Stream, 200000, 0xC0FFEE)
+	if err != nil {
+		return microarch.Counters{}, err
+	}
+	s.counterCache[p.Name] = c
+	return c, nil
+}
+
+// Run executes a workload at the current operating point and classifies
+// the outcome. It returns an error only for invalid specs or if the server
+// is down; hardware misbehaviour is reported through the outcome.
+func (s *Server) Run(spec RunSpec) (RunResult, error) {
+	if !s.booted {
+		return RunResult{}, errors.New("xgene: server is down; reboot first")
+	}
+	if err := spec.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	runRng := s.rng.Split(fmt.Sprintf("run/%s/%d", spec.Workload.Name, spec.Seed))
+
+	ctr, err := s.counters(spec.Workload)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	// Supply droop: workload features + run-to-run jitter (thermal state,
+	// alignment of phases across cores).
+	droopIn := spec.Workload.DroopInput(s.activeFastCores(spec.Cores))
+	droop := s.chip.DroopMV(droopIn) + runRng.NormMS(0, 0.4)
+	if droop < 0 {
+		droop = 0
+	}
+
+	res := RunResult{
+		Outcome:  OutcomeOK,
+		DroopMV:  droop,
+		Counters: ctr,
+	}
+
+	// Core-side failure evaluation: the worst mode across instances wins.
+	worst := silicon.NoFailure
+	for _, id := range spec.Cores {
+		mode, err := s.chip.Evaluate(id, s.pmdFreqHz[id.PMD], s.pmdVoltage, droop, spec.Workload.CacheStress)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if mode > worst {
+			worst = mode
+			res.FailingCore = id
+		}
+	}
+	switch worst {
+	case silicon.LogicFailure:
+		// Timing violations take down the pipeline; most manifest as a
+		// kernel panic / machine check (crash), some wedge the machine.
+		if runRng.Float64() < 0.30 {
+			res.Outcome = OutcomeHang
+		} else {
+			res.Outcome = OutcomeCrash
+		}
+		s.booted = false
+	case silicon.CacheFailure:
+		// SRAM bit flips: parity/ECC catches most (CE), some corrupt
+		// clean data undetected (SDC), a few hit multi-bit words (UE).
+		r := runRng.Float64()
+		switch {
+		case r < 0.70:
+			res.Outcome = OutcomeCE
+		case r < 0.90:
+			res.Outcome = OutcomeSDC
+		default:
+			res.Outcome = OutcomeUE
+		}
+	}
+
+	// DRAM-side errors: skip the cell-level scan when the analytic bound
+	// says nothing can manifest (every CPU campaign at nominal refresh).
+	var scan *dram.ScanResult
+	if s.mem.ExpectedFailureUpperBound(s.trefp) >= 0.01 {
+		scan, err = s.mem.ScanWorkload(spec.Workload.Mem, s.trefp, spec.Seed)
+		if err != nil {
+			return RunResult{}, err
+		}
+		res.DRAMCE, res.DRAMUE, res.DRAMSDC = scan.CE, scan.UE, scan.SDC
+		res.Outcome = worseOutcome(res.Outcome, dramOutcome(scan))
+	}
+
+	// Power sensors and run duration at the configured clocks.
+	var load power.CoreLoad
+	for i := range load.CurrentA {
+		load.CurrentA[i] = power.IdleCoreCurrentA
+	}
+	var perfSum float64
+	for _, id := range spec.Cores {
+		fRatio := s.pmdFreqHz[id.PMD] / silicon.NominalFreqHz
+		load.CurrentA[id.Index()] = spec.Workload.AvgCurrentA()
+		perfSum += fRatio
+	}
+	for i := range load.PMDFreqHz {
+		load.PMDFreqHz[i] = s.pmdFreqHz[i]
+	}
+	res.PerfRatio = perfSum / float64(len(spec.Cores))
+	bw := spec.Workload.DRAMBandwidthGBs * float64(len(spec.Cores)) / float64(silicon.NumCores) * res.PerfRatio
+	pw, err := power.Server(s.chip, s.OperatingPoint(), load, bw)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res.Power = pw
+
+	// Duration: nominal duration stretched by the slowest instance.
+	slowest := 1.0
+	for _, id := range spec.Cores {
+		if r := s.pmdFreqHz[id.PMD] / silicon.NominalFreqHz; 1/r > slowest {
+			slowest = 1 / r
+		}
+	}
+	res.Duration = time.Duration(float64(spec.Workload.Duration) * slowest)
+
+	// SLIMpro telemetry: ECC and machine-check events with context.
+	s.recordRunEvents(&res, scan)
+	return res, nil
+}
+
+// dramOutcome maps a scan's ECC classification to a run outcome.
+func dramOutcome(scan *dram.ScanResult) Outcome {
+	switch {
+	case scan.SDC > 0:
+		return OutcomeSDC
+	case scan.UE > 0:
+		return OutcomeUE
+	case scan.CE > 0:
+		return OutcomeCE
+	default:
+		return OutcomeOK
+	}
+}
+
+// worseOutcome returns the higher-severity of two outcomes.
+func worseOutcome(a, b Outcome) Outcome {
+	if b.Severity() > a.Severity() {
+		return b
+	}
+	return a
+}

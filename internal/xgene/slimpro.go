@@ -1,0 +1,143 @@
+package xgene
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+)
+
+// The paper extends the stock error-reporting path — the SLIMpro management
+// processor forwarding ECC events to the kernel — with system configuration
+// values, sensor readings and performance counters, so every logged error
+// carries the context needed for the parsing phase. This file models that
+// telemetry surface: a bounded event log of ECC/machine-check reports, each
+// stamped with the operating point and sensor snapshot at occurrence.
+
+// EventKind classifies SLIMpro events.
+type EventKind int
+
+const (
+	// EventDRAMCE is a corrected DRAM ECC error report.
+	EventDRAMCE EventKind = iota + 1
+	// EventDRAMUE is an uncorrectable DRAM ECC error report.
+	EventDRAMUE
+	// EventCacheError is a cache parity/ECC report from a core.
+	EventCacheError
+	// EventMachineCheck is a fatal machine check (crash path).
+	EventMachineCheck
+	// EventWatchdogReset is a reset forced by the external watchdog.
+	EventWatchdogReset
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventDRAMCE:
+		return "dram-ce"
+	case EventDRAMUE:
+		return "dram-ue"
+	case EventCacheError:
+		return "cache-error"
+	case EventMachineCheck:
+		return "machine-check"
+	case EventWatchdogReset:
+		return "watchdog-reset"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Snapshot is the sensor/configuration context stamped onto each event.
+type Snapshot struct {
+	PMDVoltage float64
+	SoCVoltage float64
+	TREFP      time.Duration
+	// DIMMTempC holds the per-DIMM temperatures at event time.
+	DIMMTempC []float64
+	// PowerW is the per-domain power reading.
+	PowerW power.Breakdown
+}
+
+// Event is one SLIMpro log entry.
+type Event struct {
+	Kind EventKind
+	// Addr is set for DRAM ECC events.
+	Addr dram.CellAddr
+	// Core is set for cache/machine-check events ("pmdP.cC").
+	Core string
+	// Context is the configuration/sensor snapshot at occurrence.
+	Context Snapshot
+}
+
+// slimproLogCap bounds the event log (the real firmware ring buffer).
+const slimproLogCap = 4096
+
+// snapshot captures the current configuration and sensors.
+func (s *Server) snapshot(pw power.Breakdown) Snapshot {
+	temps := make([]float64, s.mem.Config().Geometry.DIMMs)
+	for d := range temps {
+		t, err := s.mem.DIMMTemp(d)
+		if err == nil {
+			temps[d] = t
+		}
+	}
+	return Snapshot{
+		PMDVoltage: s.pmdVoltage,
+		SoCVoltage: s.socVoltage,
+		TREFP:      s.trefp,
+		DIMMTempC:  temps,
+		PowerW:     pw,
+	}
+}
+
+// logEvent appends to the bounded ring.
+func (s *Server) logEvent(e Event) {
+	if len(s.events) >= slimproLogCap {
+		// Drop the oldest (firmware ring-buffer behaviour).
+		copy(s.events, s.events[1:])
+		s.events = s.events[:len(s.events)-1]
+	}
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of the SLIMpro event log.
+func (s *Server) Events() []Event {
+	return append([]Event(nil), s.events...)
+}
+
+// ClearEvents empties the log (done by the framework between campaigns).
+func (s *Server) ClearEvents() { s.events = nil }
+
+// recordRunEvents translates a run's observable effects into SLIMpro
+// events, capped per run so a pathological scan cannot flood the ring.
+func (s *Server) recordRunEvents(res *RunResult, scan *dram.ScanResult) {
+	snap := s.snapshot(res.Power)
+	const perRunCap = 64
+	if scan != nil {
+		n := 0
+		for _, f := range scan.Failures {
+			if n >= perRunCap {
+				break
+			}
+			kind := EventDRAMCE
+			if scan.UE > 0 && n == 0 {
+				// The UE (if any) reports first in firmware order.
+				kind = EventDRAMUE
+			}
+			s.logEvent(Event{Kind: kind, Addr: f, Context: snap})
+			n++
+		}
+	}
+	switch res.Outcome {
+	case OutcomeCE, OutcomeUE, OutcomeSDC:
+		if res.FailingCore.Valid() {
+			s.logEvent(Event{Kind: EventCacheError, Core: res.FailingCore.String(), Context: snap})
+		}
+	case OutcomeCrash:
+		s.logEvent(Event{Kind: EventMachineCheck, Core: res.FailingCore.String(), Context: snap})
+	case OutcomeHang:
+		s.logEvent(Event{Kind: EventWatchdogReset, Core: res.FailingCore.String(), Context: snap})
+	}
+}

@@ -1,0 +1,134 @@
+package xgene
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+func TestSLIMproCleanRunLogsNothing(t *testing.T) {
+	s := newTTT(t)
+	p, _ := workloads.ByName("milc")
+	if _, err := s.Run(allCoresSpec(p, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Events()); n != 0 {
+		t.Errorf("clean run logged %d events", n)
+	}
+}
+
+func TestSLIMproDRAMEventsCarryContext(t *testing.T) {
+	s := newTTT(t)
+	if err := s.SetAllDIMMTemps(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTREFP(2283 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workloads.ByName("nw")
+	res, err := s.Run(allCoresSpec(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMCE == 0 {
+		t.Fatal("expected DRAM CEs at 60C/35x")
+	}
+	events := s.Events()
+	if len(events) == 0 {
+		t.Fatal("no SLIMpro events logged")
+	}
+	sawCE := false
+	for _, e := range events {
+		if e.Kind == EventDRAMCE {
+			sawCE = true
+			if e.Context.TREFP != 2283*time.Millisecond {
+				t.Errorf("event TREFP context = %v", e.Context.TREFP)
+			}
+			if len(e.Context.DIMMTempC) == 0 || e.Context.DIMMTempC[0] != 60 {
+				t.Errorf("event temperature context = %v", e.Context.DIMMTempC)
+			}
+			if e.Context.PMDVoltage != silicon.NominalVoltage {
+				t.Errorf("event voltage context = %v", e.Context.PMDVoltage)
+			}
+			if e.Context.PowerW.TotalW() <= 0 {
+				t.Error("event missing power snapshot")
+			}
+		}
+	}
+	if !sawCE {
+		t.Error("no DRAM CE events logged")
+	}
+}
+
+func TestSLIMproMachineCheckAndWatchdog(t *testing.T) {
+	s := newTTT(t)
+	p, _ := workloads.ByName("cactusADM")
+	sawMC, sawWD := false, false
+	for seed := uint64(0); seed < 30 && !(sawMC && sawWD); seed++ {
+		if !s.Booted() {
+			s.Reboot()
+		}
+		if err := s.SetPMDVoltage(0.80); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(allCoresSpec(p, seed)); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range s.Events() {
+			switch e.Kind {
+			case EventMachineCheck:
+				sawMC = true
+				if e.Core == "" {
+					t.Error("machine check without core attribution")
+				}
+			case EventWatchdogReset:
+				sawWD = true
+			}
+		}
+	}
+	if !sawMC {
+		t.Error("no machine-check events across 30 crash runs")
+	}
+	if !sawWD {
+		t.Error("no watchdog-reset events across 30 crash runs")
+	}
+}
+
+func TestSLIMproClearAndCap(t *testing.T) {
+	s := newTTT(t)
+	// Fill the log artificially through the internal API.
+	for i := 0; i < slimproLogCap+100; i++ {
+		s.logEvent(Event{Kind: EventDRAMCE})
+	}
+	if n := len(s.Events()); n != slimproLogCap {
+		t.Errorf("ring buffer holds %d, want cap %d", n, slimproLogCap)
+	}
+	s.ClearEvents()
+	if len(s.Events()) != 0 {
+		t.Error("ClearEvents left entries")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EventDRAMCE, EventDRAMUE, EventCacheError, EventMachineCheck, EventWatchdogReset}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	s := newTTT(t)
+	s.logEvent(Event{Kind: EventDRAMCE})
+	ev := s.Events()
+	ev[0].Kind = EventDRAMUE
+	if s.Events()[0].Kind != EventDRAMCE {
+		t.Error("Events() exposes internal storage")
+	}
+}

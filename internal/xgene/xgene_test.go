@@ -1,0 +1,346 @@
+package xgene
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+func newTTT(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(Options{Corner: silicon.TTT, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func allCoresSpec(p workloads.Profile, seed uint64) RunSpec {
+	return RunSpec{Workload: p, Cores: silicon.AllCores(), Seed: seed}
+}
+
+func oneCoreSpec(p workloads.Profile, id silicon.CoreID, seed uint64) RunSpec {
+	return RunSpec{Workload: p, Cores: []silicon.CoreID{id}, Seed: seed}
+}
+
+func TestNewServerDefaults(t *testing.T) {
+	s := newTTT(t)
+	if !s.Booted() || s.BootCount() != 1 {
+		t.Error("fresh server should be booted once")
+	}
+	if s.PMDVoltage() != silicon.NominalVoltage || s.SoCVoltage() != silicon.NominalVoltage {
+		t.Error("rails not at nominal")
+	}
+	if s.TREFP() != 64*time.Millisecond {
+		t.Errorf("TREFP = %v, want 64ms", s.TREFP())
+	}
+	for p := 0; p < silicon.NumPMDs; p++ {
+		f, err := s.PMDFreq(p)
+		if err != nil || f != silicon.NominalFreqHz {
+			t.Errorf("PMD %d clock = %v, %v", p, f, err)
+		}
+	}
+}
+
+func TestRailLimits(t *testing.T) {
+	s := newTTT(t)
+	if err := s.SetPMDVoltage(0.5); err == nil {
+		t.Error("under-range PMD rail accepted")
+	}
+	if err := s.SetPMDVoltage(1.2); err == nil {
+		t.Error("over-range PMD rail accepted")
+	}
+	if err := s.SetSoCVoltage(0.2); err == nil {
+		t.Error("under-range SoC rail accepted")
+	}
+	if err := s.SetPMDFreq(5, 2.4e9); err == nil {
+		t.Error("bad PMD index accepted")
+	}
+	if err := s.SetPMDFreq(0, 1e6); err == nil {
+		t.Error("absurd clock accepted")
+	}
+	if err := s.SetTREFP(0); err == nil {
+		t.Error("zero TREFP accepted")
+	}
+	if _, err := s.PMDFreq(-1); err == nil {
+		t.Error("negative PMD index accepted")
+	}
+}
+
+func TestRunAtNominalIsClean(t *testing.T) {
+	s := newTTT(t)
+	for _, p := range workloads.SPEC2006() {
+		res, err := s.Run(allCoresSpec(p, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.Outcome != OutcomeOK {
+			t.Errorf("%s at nominal: outcome %v", p.Name, res.Outcome)
+		}
+		if res.Counters.Instructions == 0 {
+			t.Errorf("%s: no counters collected", p.Name)
+		}
+		if res.Power.TotalW() <= 0 {
+			t.Errorf("%s: no power reading", p.Name)
+		}
+		if res.PerfRatio != 1.0 {
+			t.Errorf("%s: perf ratio %v at nominal clocks", p.Name, res.PerfRatio)
+		}
+	}
+}
+
+func TestRunDeepUndervoltCrashesAndNeedsReboot(t *testing.T) {
+	s := newTTT(t)
+	if err := s.SetPMDVoltage(0.76); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workloads.ByName("cactusADM")
+	res, err := s.Run(allCoresSpec(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeCrash && res.Outcome != OutcomeHang {
+		t.Fatalf("deep undervolt outcome = %v, want crash/hang", res.Outcome)
+	}
+	if s.Booted() {
+		t.Fatal("server still up after crash")
+	}
+	if _, err := s.Run(allCoresSpec(p, 2)); err == nil {
+		t.Fatal("run accepted while server down")
+	}
+	boot := s.Reboot()
+	if boot <= 0 {
+		t.Error("reboot reported no boot time")
+	}
+	if !s.Booted() || s.BootCount() != 2 {
+		t.Error("reboot did not restore the server")
+	}
+	if s.PMDVoltage() != silicon.NominalVoltage {
+		t.Error("reboot did not restore nominal rails")
+	}
+	if _, err := s.Run(allCoresSpec(p, 3)); err != nil {
+		t.Errorf("run after reboot failed: %v", err)
+	}
+}
+
+func TestCacheErrorsAppearBeforeCrash(t *testing.T) {
+	// Descending voltage with a cache-stressing workload must show cache
+	// error outcomes (CE/SDC/UE) in the SRAM lead band before crashing.
+	s := newTTT(t)
+	p, _ := workloads.ByName("mcf")
+	id := s.Chip().MostRobustCore()
+	sawCacheErr := false
+	for v := 0.980; v >= 0.80; v -= 0.001 {
+		if !s.Booted() {
+			break
+		}
+		if err := s.SetPMDVoltage(v); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(oneCoreSpec(p, id, uint64(v*1e5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Outcome {
+		case OutcomeCE, OutcomeSDC, OutcomeUE:
+			sawCacheErr = true
+		}
+	}
+	if !sawCacheErr {
+		t.Error("no cache-error outcomes observed in the descent")
+	}
+	if s.Booted() {
+		t.Error("descent to 800mV did not crash the server")
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	s := newTTT(t)
+	p, _ := workloads.ByName("mcf")
+	if _, err := s.Run(RunSpec{Workload: p}); err == nil {
+		t.Error("empty core list accepted")
+	}
+	if _, err := s.Run(RunSpec{Workload: p, Cores: []silicon.CoreID{{PMD: 7}}}); err == nil {
+		t.Error("invalid core accepted")
+	}
+	dup := []silicon.CoreID{{PMD: 0, Core: 0}, {PMD: 0, Core: 0}}
+	if _, err := s.Run(RunSpec{Workload: p, Cores: dup}); err == nil {
+		t.Error("duplicate cores accepted")
+	}
+	var bad workloads.Profile
+	if _, err := s.Run(RunSpec{Workload: bad, Cores: silicon.AllCores()}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestSlowPMDStretchesDurationAndCutsPerf(t *testing.T) {
+	s := newTTT(t)
+	p, _ := workloads.ByName("namd")
+	if err := s.SetPMDFreq(0, silicon.ReducedFreqHz); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(allCoresSpec(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerfRatio >= 1.0 {
+		t.Errorf("perf ratio %v with a halved PMD", res.PerfRatio)
+	}
+	if res.Duration <= p.Duration {
+		t.Errorf("duration %v not stretched by slow PMD", res.Duration)
+	}
+	// Expected: 6 cores at full + 2 at half => 87.5% throughput.
+	if res.PerfRatio < 0.87 || res.PerfRatio > 0.88 {
+		t.Errorf("perf ratio = %v, want 0.875", res.PerfRatio)
+	}
+}
+
+func TestDRAMErrorsSurfaceUnderRelaxedRefresh(t *testing.T) {
+	s := newTTT(t)
+	if err := s.SetAllDIMMTemps(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTREFP(2283 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workloads.ByName("nw")
+	res, err := s.Run(allCoresSpec(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMCE == 0 {
+		t.Error("no DRAM CEs at 60C with 35x refresh")
+	}
+	if res.DRAMUE != 0 || res.DRAMSDC != 0 {
+		t.Errorf("UE=%d SDC=%d; paper: all corrected at 60C", res.DRAMUE, res.DRAMSDC)
+	}
+	if res.Outcome != OutcomeCE {
+		t.Errorf("outcome = %v, want CE", res.Outcome)
+	}
+}
+
+func TestCPUCampaignSkipsDRAMScan(t *testing.T) {
+	// At ambient temperature and nominal refresh, runs must report zero
+	// DRAM errors (and stay fast by skipping the cell scan).
+	s := newTTT(t)
+	p, _ := workloads.ByName("mcf")
+	res, err := s.Run(allCoresSpec(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMCE != 0 || res.DRAMUE != 0 || res.DRAMSDC != 0 {
+		t.Error("DRAM errors at ambient/nominal refresh")
+	}
+}
+
+func TestMeasureEMPrefersResonantLoop(t *testing.T) {
+	s := newTTT(t)
+	id := silicon.CoreID{PMD: 0, Core: 0}
+	// Resonant loop: 10 FPSIMD + 10 NOP at 2.4GHz = 120 MHz switching.
+	body := make([]isa.Class, 0, 20)
+	for i := 0; i < 10; i++ {
+		body = append(body, isa.FPSIMD)
+	}
+	for i := 0; i < 10; i++ {
+		body = append(body, isa.NOP)
+	}
+	resonant, _ := isa.NewLoop(body...)
+	uniform, _ := isa.NewLoop(body[:10]...)
+
+	emRes, err := s.MeasureEM(resonant, id, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emUni, err := s.MeasureEM(uniform, id, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emRes <= emUni {
+		t.Errorf("resonant loop EM %v not above uniform %v", emRes, emUni)
+	}
+}
+
+func TestMeasureEMErrors(t *testing.T) {
+	s := newTTT(t)
+	var empty isa.Loop
+	if _, err := s.MeasureEM(empty, silicon.CoreID{}, 10); err == nil {
+		t.Error("empty loop accepted")
+	}
+	l, _ := isa.NewLoop(isa.NOP)
+	if _, err := s.MeasureEM(l, silicon.CoreID{PMD: 9}, 10); err == nil {
+		t.Error("invalid core accepted")
+	}
+}
+
+func TestLoopProfileRoundTrip(t *testing.T) {
+	s := newTTT(t)
+	body := make([]isa.Class, 0, 20)
+	for i := 0; i < 10; i++ {
+		body = append(body, isa.FPSIMD)
+	}
+	for i := 0; i < 10; i++ {
+		body = append(body, isa.NOP)
+	}
+	loop, _ := isa.NewLoop(body...)
+	p, err := s.LoopProfile("didt-test", loop, silicon.CoreID{PMD: 0, Core: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("loop profile invalid: %v", err)
+	}
+	if p.CacheStress {
+		t.Error("dI/dt virus profile should not be cache-stressing")
+	}
+	if p.ResonantCurrentA < 3.5 {
+		t.Errorf("resonant content %v too low for an ideal square wave", p.ResonantCurrentA)
+	}
+	// The profile must be runnable.
+	res, err := s.Run(oneCoreSpec(p, silicon.CoreID{PMD: 0, Core: 0}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeOK {
+		t.Errorf("virus at nominal voltage: %v", res.Outcome)
+	}
+}
+
+func TestOutcomeStringsAndSeverity(t *testing.T) {
+	outcomes := []Outcome{OutcomeOK, OutcomeCE, OutcomeUE, OutcomeSDC, OutcomeCrash, OutcomeHang}
+	prev := -1
+	for _, o := range outcomes {
+		if o.String() == "" {
+			t.Errorf("outcome %d has empty name", o)
+		}
+		if o.Severity() <= prev {
+			t.Errorf("severity not strictly increasing at %v", o)
+		}
+		prev = o.Severity()
+	}
+	if OutcomeOK.IsFailure() {
+		t.Error("OK is not a failure")
+	}
+	if !OutcomeCE.IsFailure() {
+		t.Error("CE counts as failure for safe-Vmin purposes")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	p, _ := workloads.ByName("milc")
+	a := newTTT(t)
+	b := newTTT(t)
+	ra, err := a.Run(allCoresSpec(p, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run(allCoresSpec(p, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.DroopMV != rb.DroopMV || ra.Outcome != rb.Outcome {
+		t.Error("identical servers and seeds produced different runs")
+	}
+}
