@@ -46,6 +46,18 @@ func BenchmarkFig4SpecVmin(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4SpecVminSerial forces the Fig. 4 grid through a single
+// worker — the pre-engine serial baseline. Compare against
+// BenchmarkFig4SpecVmin (default workers) for the parallel speedup on
+// multi-core hosts.
+func BenchmarkFig4SpecVminSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig4SpecVminWorkers(DefaultSeed, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig5Tradeoff regenerates Fig. 5: the 8-benchmark mix ladder
 // (paper: 915/900/885/875 mV; 12.8%% savings at full performance, 38.8%%
 // with the two weakest PMDs at 1.2 GHz).
@@ -88,6 +100,16 @@ func BenchmarkFig7InterChip(b *testing.B) {
 		}
 		if i == 0 {
 			dump(b, "fig7", res.Table().String())
+		}
+	}
+}
+
+// BenchmarkFig7InterChipSerial is the single-worker baseline for Fig. 7
+// (three virus-crafting shards, the heaviest campaign in the suite).
+func BenchmarkFig7InterChipSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig7InterChipWorkers(DefaultSeed, 10, 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,19 +24,25 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "didt-gen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	chipName := flag.String("chip", "TTT", "process corner")
-	gens := flag.Int("generations", 40, "GA generations")
-	pop := flag.Int("pop", 48, "GA population size")
-	seed := flag.Uint64("seed", guardband.DefaultSeed, "search seed")
-	vmin := flag.Bool("vmin", false, "also Vmin-test the crafted virus")
-	flag.Parse()
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("didt-gen", flag.ContinueOnError)
+	chipName := fs.String("chip", "TTT", "process corner")
+	gens := fs.Int("generations", 40, "GA generations")
+	pop := fs.Int("pop", 48, "GA population size")
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "search seed")
+	vmin := fs.Bool("vmin", false, "also Vmin-test the crafted virus")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var corner silicon.Corner
 	switch strings.ToUpper(*chipName) {
@@ -62,17 +70,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("crafted loop (%d instructions):\n  %s\n", res.Loop.Len(), res.Loop)
-	fmt.Printf("EM amplitude: %.1f uV\n", res.EMAmplitudeUV)
+	fmt.Fprintf(w, "crafted loop (%d instructions):\n  %s\n", res.Loop.Len(), res.Loop)
+	fmt.Fprintf(w, "EM amplitude: %.1f uV\n", res.EMAmplitudeUV)
 	q, err := viruses.ResonanceQuality(srv, res.Loop, cfg.Core)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("resonance quality vs ideal square wave: %.0f%%\n", q*100)
-	fmt.Println("\nconvergence (generation: best EM uV):")
+	fmt.Fprintf(w, "resonance quality vs ideal square wave: %.0f%%\n", q*100)
+	fmt.Fprintln(w, "\nconvergence (generation: best EM uV):")
 	for i, h := range res.History {
 		if i%5 == 0 || i == len(res.History)-1 {
-			fmt.Printf("  %3d: %.1f\n", h.Generation, h.BestFitness)
+			fmt.Fprintf(w, "  %3d: %.1f\n", h.Generation, h.BestFitness)
 		}
 	}
 
@@ -89,7 +97,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nvirus safe Vmin on %s weakest core: %.0f mV (margin %.0f mV below nominal)\n",
+		fmt.Fprintf(w, "\nvirus safe Vmin on %s weakest core: %.0f mV (margin %.0f mV below nominal)\n",
 			corner, vres.SafeVminV*1000, (guardband.NominalVoltage-vres.SafeVminV)*1000)
 	}
 	return nil

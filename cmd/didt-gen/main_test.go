@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSearch(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{"-generations", "4", "-pop", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"crafted loop", "EM amplitude", "resonance quality"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownChip(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-chip", "ZZZ"}); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}

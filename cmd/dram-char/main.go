@@ -2,21 +2,26 @@
 // DIMMs to a target temperature with the thermal testbed, relaxes the
 // refresh period, runs the data-pattern benchmarks (and optionally a
 // workload), and reports per-bank unique error locations, BER and the ECC
-// classification of every corrupted codeword.
+// classification of every corrupted codeword. The pattern scans are
+// sharded across the fleet campaign engine; the PID regulation itself is
+// stateful and stays serial.
 //
 // Usage:
 //
 //	dram-char [-temp C] [-trefp-mult N] [-pattern all|all0|all1|checker|random]
-//	          [-workload name] [-seed N]
+//	          [-workload name] [-seed N] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	guardband "repro"
+	"repro/internal/campaign"
 	"repro/internal/dram"
 	"repro/internal/report"
 	"repro/internal/thermal"
@@ -24,32 +29,35 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "dram-char: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	tempC := flag.Float64("temp", 50, "regulated DIMM temperature (degC)")
-	mult := flag.Int("trefp-mult", 35, "refresh period relaxation factor over 64 ms")
-	patternSel := flag.String("pattern", "all", "DPBench: all, all0, all1, checker or random")
-	workloadName := flag.String("workload", "", "also scan this workload's memory behaviour")
-	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
-	flag.Parse()
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("dram-char", flag.ContinueOnError)
+	tempC := fs.Float64("temp", 50, "regulated DIMM temperature (degC)")
+	mult := fs.Int("trefp-mult", 35, "refresh period relaxation factor over 64 ms")
+	patternSel := fs.String("pattern", "all", "DPBench: all, all0, all1, checker or random")
+	workloadName := fs.String("workload", "", "also scan this workload's memory behaviour")
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "board seed")
+	workers := fs.Int("workers", guardband.DefaultWorkers, "campaign engine workers (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *mult < 1 {
 		return fmt.Errorf("trefp-mult must be >= 1")
 	}
 	trefp := time.Duration(*mult) * guardband.NominalTREFP
 
-	srv, err := guardband.NewServer(guardband.TTT, *seed)
-	if err != nil {
-		return err
-	}
-
-	// Thermal regulation through the testbed, as in the paper's flow.
-	geom := srv.DRAM().Config().Geometry
+	// Thermal regulation through the testbed, as in the paper's flow; the
+	// regulated temperatures feed every scan shard.
+	geom := dram.DefaultConfig().Geometry
 	tb, err := thermal.NewTestbed(geom.DIMMs, 30, *seed)
 	if err != nil {
 		return err
@@ -61,16 +69,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	temps := make([]float64, geom.DIMMs)
 	for d := 0; d < geom.DIMMs; d++ {
-		temp, err := tb.Temp(d)
-		if err != nil {
-			return err
-		}
-		if err := srv.SetDIMMTemp(d, temp); err != nil {
+		if temps[d], err = tb.Temp(d); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("DIMMs regulated to %.0f degC (max deviation %.2f degC); TREFP %v (%dx)\n\n",
+	fmt.Fprintf(w, "DIMMs regulated to %.0f degC (max deviation %.2f degC); TREFP %v (%dx)\n\n",
 		*tempC, dev, trefp, *mult)
 
 	kinds := dram.PatternKinds()
@@ -86,17 +91,18 @@ func run() error {
 		}
 	}
 
-	t := report.NewTable("DPBench scans", "pattern", "failures", "BER", "CE", "UE", "SDC", "bank spread")
+	var shards []campaign.Shard[*dram.ScanResult]
 	for _, kind := range kinds {
-		p, err := dram.NewPattern(kind)
-		if err != nil {
-			return err
-		}
-		res, err := srv.DRAM().ScanPattern(p, trefp, *seed)
-		if err != nil {
-			return err
-		}
-		t.AddRowf(kind.String(),
+		shards = append(shards, guardband.DPBenchScanShard("dram-char/"+kind.String(), kind, temps, trefp, *seed))
+	}
+	rep, err := campaign.Run(campaign.Config{Workers: *workers, Seed: *seed}, shards)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("DPBench scans", "pattern", "failures", "BER", "CE", "UE", "SDC", "bank spread")
+	for i, res := range rep.Values() {
+		t.AddRowf(kinds[i].String(),
 			fmt.Sprintf("%d", len(res.Failures)),
 			fmt.Sprintf("%.3g", res.BER),
 			fmt.Sprintf("%d", res.CE),
@@ -104,19 +110,26 @@ func run() error {
 			fmt.Sprintf("%d", res.SDC),
 			report.Pct(res.UniqueBankSpread()))
 	}
-	fmt.Println(t)
+	fmt.Fprintln(w, t)
 
 	if *workloadName != "" {
-		w, err := workloads.ByName(*workloadName)
+		wl, err := workloads.ByName(*workloadName)
 		if err != nil {
 			return err
 		}
-		res, err := srv.DRAM().ScanWorkload(w.Mem, trefp, *seed)
+		srv, err := guardband.NewServer(guardband.TTT, *seed)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("workload %s: failures %d, BER %.3g, CE %d, UE %d, SDC %d\n",
-			w.Name, len(res.Failures), res.BER, res.CE, res.UE, res.SDC)
+		if err := guardband.ApplyDIMMTemps(srv, temps); err != nil {
+			return err
+		}
+		res, err := srv.DRAM().ScanWorkload(wl.Mem, trefp, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "workload %s: failures %d, BER %.3g, CE %d, UE %d, SDC %d\n",
+			wl.Name, len(res.Failures), res.BER, res.CE, res.UE, res.SDC)
 	}
 	return nil
 }

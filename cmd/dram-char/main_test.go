@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSinglePatternScan(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{"-pattern", "random", "-workload", "kmeans", "-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DIMMs regulated", "random", "workload kmeans"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-pattern", "bogus"}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := run(&out, []string{"-trefp-mult", "0"}); err == nil {
+		t.Error("zero relaxation accepted")
+	}
+	if err := run(&out, []string{"-pattern", "random", "-workload", "bogus"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

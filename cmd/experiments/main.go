@@ -1,17 +1,22 @@
 // Command experiments runs every table/figure reproduction and prints a
-// paper-vs-measured summary — the one-shot verification entry point.
+// paper-vs-measured summary — the one-shot verification entry point. The
+// characterization grids run through the fleet campaign engine; -workers
+// picks the fleet size (0 means one worker per CPU) without changing any
+// number.
 //
 // Usage:
 //
-//	experiments [-seed N] [-reps N] [-run regexp-free-name]
+//	experiments [-seed N] [-reps N] [-workers N] [-run regexp-free-name]
 //
 // -run selects a single experiment by id (fig4, fig5, fig6, fig7, table1,
 // fig8a, fig8b, fig9, stencil); the default runs all of them.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,10 +24,24 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", guardband.DefaultSeed, "experiment seed (board population)")
-	reps := flag.Int("reps", 10, "repetitions per voltage step (paper: 10)")
-	run := flag.String("run", "", "run only this experiment id (fig4..fig9, table1, stencil)")
-	flag.Parse()
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "experiment seed (board population)")
+	reps := fs.Int("reps", 10, "repetitions per voltage step (paper: 10)")
+	workers := fs.Int("workers", guardband.DefaultWorkers, "campaign engine workers (0 = one per CPU)")
+	runSel := fs.String("run", "", "run only this experiment id (fig4..fig9, table1, stencil)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	type experiment struct {
 		id string
@@ -30,65 +49,65 @@ func main() {
 	}
 	experiments := []experiment{
 		{"fig4", func() error {
-			res, err := guardband.Fig4SpecVmin(*seed, *reps)
+			res, err := guardband.Fig4SpecVminWorkers(*seed, *reps, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
+			fmt.Fprintln(w, res.Table())
 			for _, chip := range []string{"TTT", "TFF", "TSS"} {
 				lo, hi := res.Range(chip)
-				fmt.Printf("  %s range %.0f-%.0f mV\n", chip, lo, hi)
+				fmt.Fprintf(w, "  %s range %.0f-%.0f mV\n", chip, lo, hi)
 			}
-			fmt.Println("  paper: TTT 860-885, TFF 870-885, TSS 870-900, nominal 980")
+			fmt.Fprintln(w, "  paper: TTT 860-885, TFF 870-885, TSS 870-900, nominal 980")
 			return nil
 		}},
 		{"fig5", func() error {
-			res, err := guardband.Fig5Tradeoff(*seed, *reps)
+			res, err := guardband.Fig5TradeoffWorkers(*seed, *reps, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
-			fmt.Printf("  predictor point: %.1f%% savings (paper 12.8%%)\n", res.PredictorSavingsPct)
-			fmt.Printf("  2 weak PMDs @1.2GHz: %.1f%% savings (paper 38.8%%)\n", res.MaxSavingsPct)
+			fmt.Fprintln(w, res.Table())
+			fmt.Fprintf(w, "  predictor point: %.1f%% savings (paper 12.8%%)\n", res.PredictorSavingsPct)
+			fmt.Fprintf(w, "  2 weak PMDs @1.2GHz: %.1f%% savings (paper 38.8%%)\n", res.MaxSavingsPct)
 			return nil
 		}},
 		{"fig6", func() error {
-			res, err := guardband.Fig6VirusVsNAS(*seed, *reps)
+			res, err := guardband.Fig6VirusVsNASWorkers(*seed, *reps, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Chart())
-			fmt.Printf("  crafted loop: %s\n", res.VirusLoop)
-			fmt.Println("  paper: EM virus has the highest Vmin of all workloads")
+			fmt.Fprintln(w, res.Chart())
+			fmt.Fprintf(w, "  crafted loop: %s\n", res.VirusLoop)
+			fmt.Fprintln(w, "  paper: EM virus has the highest Vmin of all workloads")
 			return nil
 		}},
 		{"fig7", func() error {
-			res, err := guardband.Fig7InterChip(*seed, *reps)
+			res, err := guardband.Fig7InterChipWorkers(*seed, *reps, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
-			fmt.Println("  paper margins: TTT 60mV, TFF 20mV, TSS ~zero")
+			fmt.Fprintln(w, res.Table())
+			fmt.Fprintln(w, "  paper margins: TTT 60mV, TFF 20mV, TSS ~zero")
 			return nil
 		}},
 		{"table1", func() error {
-			res, err := guardband.Table1BankVariation(*seed)
+			res, err := guardband.Table1BankVariationWorkers(*seed, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
-			fmt.Printf("  all errors ECC-corrected: %v (paper: yes <=60C); regulation max dev %.2fC (paper <1)\n",
+			fmt.Fprintln(w, res.Table())
+			fmt.Fprintf(w, "  all errors ECC-corrected: %v (paper: yes <=60C); regulation max dev %.2fC (paper <1)\n",
 				res.AllCorrected, res.RegulationMaxDevC)
-			fmt.Println("  paper: ~163-230 per bank @50C (41% spread), ~3293-3842 @60C (16% spread)")
+			fmt.Fprintln(w, "  paper: ~163-230 per bank @50C (41% spread), ~3293-3842 @60C (16% spread)")
 			return nil
 		}},
 		{"fig8a", func() error {
-			res, err := guardband.Fig8aBER(*seed)
+			res, err := guardband.Fig8aBERWorkers(*seed, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Chart())
-			fmt.Println("  paper: random DPBench highest; HPC apps vary up to ~2.5x")
+			fmt.Fprintln(w, res.Chart())
+			fmt.Fprintln(w, "  paper: random DPBench highest; HPC apps vary up to ~2.5x")
 			return nil
 		}},
 		{"fig8b", func() error {
@@ -96,17 +115,17 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Chart())
-			fmt.Println("  paper: nw 27.3% (max), kmeans 9.4% (min)")
+			fmt.Fprintln(w, res.Chart())
+			fmt.Fprintln(w, "  paper: nw 27.3% (max), kmeans 9.4% (min)")
 			return nil
 		}},
 		{"fig9", func() error {
-			res, err := guardband.Fig9JammerSavings(*seed)
+			res, err := guardband.Fig9JammerSavingsWorkers(*seed, *workers)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
-			fmt.Printf("  total savings %.1f%% (paper 20.2%%); outcome %s; QoS recall %.2f, deadline met %v\n",
+			fmt.Fprintln(w, res.Table())
+			fmt.Fprintf(w, "  total savings %.1f%% (paper 20.2%%); outcome %s; QoS recall %.2f, deadline met %v\n",
 				res.TotalSavings*100, res.UndervoltedOutcome, res.Recall, res.DeadlineMet)
 			return nil
 		}},
@@ -115,9 +134,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("Stencil scheduling (IV.C):\n  baseline max row interval %v -> tiled %v (TREFP %v)\n",
+			fmt.Fprintf(w, "Stencil scheduling (IV.C):\n  baseline max row interval %v -> tiled %v (TREFP %v)\n",
 				res.BaselineMaxInterval, res.TiledMaxInterval, guardband.RelaxedTREFP)
-			fmt.Printf("  manifested errors %d -> %d; meets TREFP: %v\n",
+			fmt.Fprintf(w, "  manifested errors %d -> %d; meets TREFP: %v\n",
 				res.BaselineErrors, res.TiledErrors, res.MeetsTREFP)
 			return nil
 		}},
@@ -126,8 +145,8 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
-			fmt.Println("  Section III: cache arrays fail (CE/SDC/UE) a few mV before pipeline logic crashes")
+			fmt.Fprintln(w, res.Table())
+			fmt.Fprintln(w, "  Section III: cache arrays fail (CE/SDC/UE) a few mV before pipeline logic crashes")
 			return nil
 		}},
 		{"gradient", func() error {
@@ -135,8 +154,8 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Table())
-			fmt.Printf("  per-channel PID regulation within %.2f degC\n", res.RegulationMaxDevC)
+			fmt.Fprintln(w, res.Table())
+			fmt.Fprintf(w, "  per-channel PID regulation within %.2f degC\n", res.RegulationMaxDevC)
 			return nil
 		}},
 		{"ablations", func() error {
@@ -144,20 +163,20 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("PDN resonance:     droop %.1f mV (quality %.0f%%) -> %.1f mV (quality %.0f%%) without\n",
+			fmt.Fprintf(w, "PDN resonance:     droop %.1f mV (quality %.0f%%) -> %.1f mV (quality %.0f%%) without\n",
 				ar.WithResonanceDroopMV, ar.WithQuality*100,
 				ar.WithoutResonanceDroopMV, ar.WithoutQuality*100)
 			ap, err := guardband.AblatePatternCoupling(*seed)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("pattern coupling:  checker/uniform %.2fx -> %.2fx without\n",
+			fmt.Fprintf(w, "pattern coupling:  checker/uniform %.2fx -> %.2fx without\n",
 				ap.WithCoupling.CheckerOverUniform, ap.WithoutCoupling.CheckerOverUniform)
 			ai, err := guardband.AblateImplicitRefresh(*seed)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("implicit refresh:  kmeans failures %d -> %d without reuse\n",
+			fmt.Fprintf(w, "implicit refresh:  kmeans failures %d -> %d without reuse\n",
 				ai.WithReuseFailures, ai.WithoutReuseFailures)
 			return nil
 		}},
@@ -165,19 +184,18 @@ func main() {
 
 	ran := 0
 	for _, e := range experiments {
-		if *run != "" && !strings.EqualFold(*run, e.id) {
+		if *runSel != "" && !strings.EqualFold(*runSel, e.id) {
 			continue
 		}
-		fmt.Printf("=== %s ===\n", e.id)
+		fmt.Fprintf(w, "=== %s ===\n", e.id)
 		if err := e.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", *runSel)
 	}
+	return nil
 }

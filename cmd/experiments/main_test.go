@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-run", "fig8b"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== fig8b ===") {
+		t.Error("missing experiment header")
+	}
+	if !strings.Contains(out.String(), "nw") {
+		t.Error("missing Fig. 8b bars")
+	}
+}
+
+func TestRunSmallGridThroughEngine(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-run", "fig9", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total savings") {
+		t.Error("missing Fig. 9 summary")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -2,23 +2,28 @@
 // it searches the safe Vmin of one or more benchmarks on a chosen chip and
 // core, following the paper's automated flow (descend in 5 mV steps, N
 // repetitions per step, watchdog/reset recovery), and emits a CSV of every
-// run plus a summary table.
+// run plus a summary table. The per-benchmark searches are sharded across
+// the fleet campaign engine; -workers sets the fleet size without changing
+// any measurement.
 //
 // Usage:
 //
 //	guardband-char [-chip TTT|TFF|TSS] [-bench name,name|all]
 //	               [-core robust|weakest|pmdP.cC] [-reps N] [-seed N]
-//	               [-csv file]
+//	               [-workers N] [-csv file]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	guardband "repro"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/silicon"
@@ -26,20 +31,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "guardband-char: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	chipName := flag.String("chip", "TTT", "process corner: TTT, TFF or TSS")
-	benchList := flag.String("bench", "all", "comma-separated benchmark names, or 'all' for SPEC2006")
-	coreSel := flag.String("core", "robust", "core: robust, weakest, or pmdP.cC")
-	reps := flag.Int("reps", 10, "repetitions per voltage step")
-	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
-	csvPath := flag.String("csv", "", "write per-run records to this CSV file")
-	flag.Parse()
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("guardband-char", flag.ContinueOnError)
+	chipName := fs.String("chip", "TTT", "process corner: TTT, TFF or TSS")
+	benchList := fs.String("bench", "all", "comma-separated benchmark names, or 'all' for SPEC2006")
+	coreSel := fs.String("core", "robust", "core: robust, weakest, or pmdP.cC")
+	reps := fs.Int("reps", 10, "repetitions per voltage step")
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "board seed")
+	workers := fs.Int("workers", guardband.DefaultWorkers, "campaign engine workers (0 = one per CPU)")
+	csvPath := fs.String("csv", "", "write per-run records to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var corner silicon.Corner
 	switch strings.ToUpper(*chipName) {
@@ -53,16 +65,13 @@ func run() error {
 		return fmt.Errorf("unknown chip %q", *chipName)
 	}
 
-	srv, err := guardband.NewServer(corner, *seed)
+	// Resolve the core on a probe board; every shard fabricates the same
+	// (corner, seed) board, so the resolved ID is valid fleet-wide.
+	probe, err := guardband.NewServer(corner, *seed)
 	if err != nil {
 		return err
 	}
-	fw, err := guardband.NewFramework(srv)
-	if err != nil {
-		return err
-	}
-
-	coreID, err := pickCore(srv, *coreSel)
+	coreID, err := pickCore(probe, *coreSel)
 	if err != nil {
 		return err
 	}
@@ -80,35 +89,49 @@ func run() error {
 		}
 	}
 
+	var shards []campaign.Shard[core.VminResult]
+	for i, bench := range benches {
+		shards = append(shards, campaign.Shard[core.VminResult]{
+			// The index keeps shard names unique when -bench repeats a
+			// benchmark (repeats are a legitimate repeatability check).
+			Name:  fmt.Sprintf("guardband-char/%d/%s", i, bench.Name),
+			Board: campaign.Board{Corner: corner},
+			Run: func(ctx *campaign.Ctx) (core.VminResult, error) {
+				cfg := core.DefaultVminConfig(bench, core.NominalSetup(coreID))
+				cfg.Repetitions = *reps
+				cfg.Seed = *seed
+				return ctx.Framework.VminSearch(cfg)
+			},
+		})
+	}
+	rep, err := campaign.Run(campaign.Config{Workers: *workers, Seed: *seed}, shards)
+	if err != nil {
+		return err
+	}
+
 	summary := report.NewTable(
 		fmt.Sprintf("Safe Vmin on %s chip, core %v, %d reps/step", corner, coreID, *reps),
 		"benchmark", "safe Vmin", "first fail", "guardband", "failure modes")
-	for _, bench := range benches {
-		cfg := core.DefaultVminConfig(bench, core.NominalSetup(coreID))
-		cfg.Repetitions = *reps
-		cfg.Seed = *seed
-		res, err := fw.VminSearch(cfg)
-		if err != nil {
-			return err
-		}
+	for _, res := range rep.Values() {
 		modes := make([]string, 0, len(res.FailureOutcomes))
 		for o, n := range res.FailureOutcomes {
 			modes = append(modes, fmt.Sprintf("%s x%d", o, n))
 		}
-		summary.AddRowf(bench.Name,
+		summary.AddRowf(res.Benchmark,
 			report.MV(res.SafeVminV),
 			report.MV(res.FirstFailV),
 			report.MV(res.GuardbandV),
 			strings.Join(modes, " "))
 	}
-	fmt.Println(summary)
-	fmt.Printf("campaign simulated time: %v, runs: %d\n", fw.Elapsed(), len(fw.Records()))
+	fmt.Fprintln(w, summary)
+	fmt.Fprintf(w, "campaign simulated time: %v, runs: %d, recoveries: %d, workers: %d\n",
+		rep.Stats.SimTime, rep.Stats.Runs, rep.Stats.Recoveries, rep.Workers)
 
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, fw.Records()); err != nil {
+		if err := writeCSV(*csvPath, rep.Records()); err != nil {
 			return err
 		}
-		fmt.Printf("per-run records written to %s\n", *csvPath)
+		fmt.Fprintf(w, "per-run records written to %s\n", *csvPath)
 	}
 	return nil
 }
@@ -133,7 +156,7 @@ func pickCore(srv *guardband.Server, sel string) (silicon.CoreID, error) {
 	return silicon.CoreID{}, fmt.Errorf("bad core selector %q (robust, weakest or pmdP.cC)", sel)
 }
 
-// writeCSV dumps the framework's run records.
+// writeCSV dumps the campaign's run records.
 func writeCSV(path string, records []core.RunRecord) error {
 	t := report.NewTable("", "benchmark", "voltage_mv", "repetition", "outcome",
 		"droop_mv", "dram_ce", "dram_ue", "dram_sdc", "recovered", "sim_time")

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "runs.csv")
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bench", "mcf,namd", "-reps", "2", "-workers", "2", "-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mcf", "namd", "campaign simulated time", "workers: 2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "mcf") {
+		t.Error("CSV missing run records")
+	}
+}
+
+func TestRunSelectorsRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-chip", "XYZ"}); err == nil {
+		t.Error("unknown chip accepted")
+	}
+	if err := run(&out, []string{"-core", "bogus", "-bench", "mcf"}); err == nil {
+		t.Error("bad core selector accepted")
+	}
+	if err := run(&out, []string{"-bench", "not-a-benchmark"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -5,32 +5,48 @@
 //
 // Usage:
 //
-//	jammer-demo [-seed N]
+//	jammer-demo [-seed N] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	guardband "repro"
 )
 
 func main() {
-	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
-	flag.Parse()
-
-	res, err := guardband.Fig9JammerSavings(*seed)
-	if err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "jammer-demo: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("jammer-demo", flag.ContinueOnError)
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "board seed")
+	workers := fs.Int("workers", guardband.DefaultWorkers, "campaign engine workers (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	res, err := guardband.Fig9JammerSavingsWorkers(*seed, *workers)
+	if err != nil {
+		return err
+	}
 	pmdV, socV, trefp := guardband.SafeOperatingPoint()
-	fmt.Printf("safe operating point: PMD %.0f mV, SoC %.0f mV, TREFP %.3f s\n\n",
+	fmt.Fprintf(w, "safe operating point: PMD %.0f mV, SoC %.0f mV, TREFP %.3f s\n\n",
 		pmdV*1000, socV*1000, trefp)
-	fmt.Println(res.Table())
-	fmt.Printf("total savings: %.1f%% (paper 20.2%%)\n", res.TotalSavings*100)
-	fmt.Printf("undervolted outcome: %s\n", res.UndervoltedOutcome)
-	fmt.Printf("detector QoS: recall %.2f, false-positive rate %.3f, deadline met %v\n",
+	fmt.Fprintln(w, res.Table())
+	fmt.Fprintf(w, "total savings: %.1f%% (paper 20.2%%)\n", res.TotalSavings*100)
+	fmt.Fprintf(w, "undervolted outcome: %s\n", res.UndervoltedOutcome)
+	fmt.Fprintf(w, "detector QoS: recall %.2f, false-positive rate %.3f, deadline met %v\n",
 		res.Recall, res.FalsePositiveRate, res.DeadlineMet)
+	return nil
 }

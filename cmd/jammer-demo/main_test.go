@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"safe operating point", "total savings", "undervolted outcome: OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

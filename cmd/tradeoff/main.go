@@ -1,32 +1,49 @@
 // Command tradeoff explores the Fig. 5 power/performance ladder: the
 // eight-benchmark multi-programmed mix with k of the weakest PMDs
 // down-clocked to 1.2 GHz, measuring the chip-level safe voltage at every
-// step and reporting relative power.
+// step and reporting relative power. The ladder rungs run as fleet
+// campaign shards.
 //
 // Usage:
 //
-//	tradeoff [-seed N] [-reps N]
+//	tradeoff [-seed N] [-reps N] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	guardband "repro"
 )
 
 func main() {
-	seed := flag.Uint64("seed", guardband.DefaultSeed, "board seed")
-	reps := flag.Int("reps", 10, "repetitions per voltage step")
-	flag.Parse()
-
-	res, err := guardband.Fig5Tradeoff(*seed, *reps)
-	if err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(res.Table())
-	fmt.Printf("predictor point (no perf loss): %.1f%% power savings\n", res.PredictorSavingsPct)
-	fmt.Printf("two weak PMDs at 1.2 GHz:       %.1f%% power savings at 75%% performance\n", res.MaxSavingsPct)
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "board seed")
+	reps := fs.Int("reps", 10, "repetitions per voltage step")
+	workers := fs.Int("workers", guardband.DefaultWorkers, "campaign engine workers (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	res, err := guardband.Fig5TradeoffWorkers(*seed, *reps, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Table())
+	fmt.Fprintf(w, "predictor point (no perf loss): %.1f%% power savings\n", res.PredictorSavingsPct)
+	fmt.Fprintf(w, "two weak PMDs at 1.2 GHz:       %.1f%% power savings at 75%% performance\n", res.MaxSavingsPct)
+	return nil
 }

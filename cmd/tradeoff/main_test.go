@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallLadder(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-reps", "1", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 5", "predictor point", "power savings"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

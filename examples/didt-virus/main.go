@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	guardband "repro"
 	"repro/internal/core"
@@ -17,9 +19,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cfg := viruses.DefaultDIdtConfig()
@@ -27,38 +35,47 @@ func main() {
 	cfg.GA.Seed = guardband.DefaultSeed
 	res, err := viruses.CraftDIdt(srv, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("crafted dI/dt loop (%d instructions):\n  %s\n\n", res.Loop.Len(), res.Loop)
+	fmt.Fprintf(w, "crafted dI/dt loop (%d instructions):\n  %s\n\n", res.Loop.Len(), res.Loop)
 	q, err := viruses.ResonanceQuality(srv, res.Loop, cfg.Core)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("EM amplitude %.1f uV; resonance quality %.0f%% of the ideal square wave\n", res.EMAmplitudeUV, q*100)
-	fmt.Printf("PDN resonant period at 2.4 GHz: %d cycles\n\n", srv.Chip().Net.ResonantPeriodCycles(guardband.NominalFreqHz))
+	fmt.Fprintf(w, "EM amplitude %.1f uV; resonance quality %.0f%% of the ideal square wave\n", res.EMAmplitudeUV, q*100)
+	fmt.Fprintf(w, "PDN resonant period at 2.4 GHz: %d cycles\n\n", srv.Chip().Net.ResonantPeriodCycles(guardband.NominalFreqHz))
 
 	// Prove it is the worst case: Vmin-test against the NAS suite.
 	fw, err := guardband.NewFramework(srv)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	virus, err := srv.LoopProfile("didt-virus", res.Loop, cfg.Core)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	search := func(p guardband.Profile) float64 {
+	search := func(p guardband.Profile) (float64, error) {
 		c := core.DefaultVminConfig(p, core.NominalSetup(cfg.Core))
 		c.Repetitions = 3
 		r, err := fw.VminSearch(c)
 		if err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
-		return r.SafeVminV * 1000
+		return r.SafeVminV * 1000, nil
 	}
-	fmt.Printf("%-10s %s\n", "workload", "safe Vmin")
-	fmt.Printf("%-10s %.0f mV   <-- highest: the crafted worst case\n", "EM virus", search(virus))
-	for _, w := range workloads.NASSuite()[:4] {
-		fmt.Printf("%-10s %.0f mV\n", w.Name, search(w))
+	virusVmin, err := search(virus)
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(w, "%-10s %s\n", "workload", "safe Vmin")
+	fmt.Fprintf(w, "%-10s %.0f mV   <-- highest: the crafted worst case\n", "EM virus", virusVmin)
+	for _, wl := range workloads.NASSuite()[:4] {
+		v, err := search(wl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %.0f mV\n", wl.Name, v)
+	}
+	return nil
 }

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	guardband "repro"
@@ -16,57 +18,64 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	geom := srv.DRAM().Config().Geometry
 	tb, err := thermal.NewTestbed(geom.DIMMs, 30, guardband.DefaultSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	random, err := dram.NewPattern(dram.RandomPattern)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for _, target := range []float64{50, 60} {
 		// Closed-loop PID regulation, as on the paper's testbed.
 		if err := tb.SetAllTargets(target); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		dev, err := tb.Settle(0.5, time.Hour, 5*time.Minute)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for d := 0; d < geom.DIMMs; d++ {
 			temp, err := tb.Temp(d)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := srv.SetDIMMTemp(d, temp); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 
 		res, err := srv.DRAM().ScanPattern(random, guardband.RelaxedTREFP, guardband.DefaultSeed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%.0f degC (regulated within %.2f degC), TREFP %v:\n", target, dev, guardband.RelaxedTREFP)
-		fmt.Printf("  unique error locations per bank: %v\n", res.PerBank)
-		fmt.Printf("  bank-to-bank spread: %.0f%%\n", res.UniqueBankSpread()*100)
-		fmt.Printf("  ECC: %d corrected, %d uncorrectable, %d silent\n\n", res.CE, res.UE, res.SDC)
+		fmt.Fprintf(w, "%.0f degC (regulated within %.2f degC), TREFP %v:\n", target, dev, guardband.RelaxedTREFP)
+		fmt.Fprintf(w, "  unique error locations per bank: %v\n", res.PerBank)
+		fmt.Fprintf(w, "  bank-to-bank spread: %.0f%%\n", res.UniqueBankSpread()*100)
+		fmt.Fprintf(w, "  ECC: %d corrected, %d uncorrectable, %d silent\n\n", res.CE, res.UE, res.SDC)
 	}
 
 	// The guardband itself: at the nominal 64 ms refresh nothing fails.
 	if err := srv.DRAM().SetAllTemps(50); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := srv.DRAM().ScanPattern(random, guardband.NominalTREFP, guardband.DefaultSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("nominal 64 ms refresh at 50 degC: %d failures — the refresh guardband\n", len(res.Failures))
+	fmt.Fprintf(w, "nominal 64 ms refresh at 50 degC: %d failures — the refresh guardband\n", len(res.Failures))
+	return nil
 }

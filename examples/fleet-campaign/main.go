@@ -1,0 +1,91 @@
+// fleet-campaign characterizes a fleet of X-Gene2 servers concurrently:
+// the TTT, TFF and TSS corner chips each run a SPEC undervolting grid,
+// sharded per (chip, benchmark) across the fleet campaign engine's worker
+// pool. Every shard owns an independent simulated server and a seed
+// derived from the campaign seed, so the fleet-wide report is identical
+// for any worker count — scale the fleet to the hardware, not the result.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	guardband "repro"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// chipVmin is one fleet measurement: a benchmark's safe Vmin on one chip.
+type chipVmin struct {
+	Chip      string
+	Benchmark string
+	VminMV    float64
+}
+
+func run(w io.Writer) error {
+	// A compact grid keeps the example quick: four SPEC profiles per chip,
+	// two repetitions per voltage step.
+	benches := workloads.SPEC2006()[:4]
+	const repetitions = 2
+
+	var shards []campaign.Shard[chipVmin]
+	for _, corner := range silicon.Corners() {
+		for _, bench := range benches {
+			shards = append(shards, campaign.Shard[chipVmin]{
+				Name:  fmt.Sprintf("fleet/%s/%s", corner, bench.Name),
+				Board: campaign.Board{Corner: corner},
+				Run: func(ctx *campaign.Ctx) (chipVmin, error) {
+					robust := ctx.Server.Chip().MostRobustCore()
+					cfg := core.DefaultVminConfig(bench, core.NominalSetup(robust))
+					cfg.Repetitions = repetitions
+					cfg.Seed = ctx.Seed // shard-derived: no two cells share RNG state
+					res, err := ctx.Framework.VminSearch(cfg)
+					if err != nil {
+						return chipVmin{}, err
+					}
+					return chipVmin{
+						Chip:      ctx.Server.Chip().Corner.String(),
+						Benchmark: bench.Name,
+						VminMV:    res.SafeVminV * 1000,
+					}, nil
+				},
+			})
+		}
+	}
+
+	rep, err := campaign.Run(campaign.Config{Seed: guardband.DefaultSeed}, shards)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("Fleet campaign: safe Vmin (mV) per chip", "benchmark", "TTT", "TFF", "TSS")
+	for _, b := range benches {
+		row := map[string]float64{}
+		for _, m := range rep.Values() {
+			if m.Benchmark == b.Name {
+				row[m.Chip] = m.VminMV
+			}
+		}
+		t.AddRowf(b.Name,
+			fmt.Sprintf("%.0f", row["TTT"]),
+			fmt.Sprintf("%.0f", row["TFF"]),
+			fmt.Sprintf("%.0f", row["TSS"]))
+	}
+	fmt.Fprintln(w, t)
+	fmt.Fprintf(w, "fleet: %d shards over %d workers\n", rep.Stats.Shards, rep.Workers)
+	fmt.Fprintf(w, "campaign bookkeeping: %d runs, %d recoveries, %v simulated board time\n",
+		rep.Stats.Runs, rep.Stats.Recoveries, rep.Stats.SimTime)
+	fmt.Fprintf(w, "outcome counts: %v\n", rep.Stats.Outcomes)
+	return nil
+}

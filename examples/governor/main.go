@@ -2,14 +2,19 @@
 // train the counter-based Vmin predictor on a characterization campaign,
 // hand it to a voltage governor together with a droop history, and let the
 // governor steer the PMD rail per scheduled workload — saving energy with
-// an adaptive guard band and automatic fallback on any disruption.
+// an adaptive guard band and automatic fallback on any disruption. The
+// training campaign runs through the fleet campaign engine (one shard per
+// benchmark).
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	guardband "repro"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/microarch"
@@ -19,66 +24,90 @@ import (
 )
 
 func main() {
-	// Phase 1: characterize — whole-chip Vmin per SPEC benchmark.
-	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fw, err := guardband.NewFramework(srv)
-	if err != nil {
-		log.Fatal(err)
+}
+
+func run(w io.Writer) error {
+	// Phase 1: characterize — whole-chip Vmin per SPEC benchmark, sharded
+	// across the campaign engine.
+	fmt.Fprintln(w, "phase 1: characterization campaign (training data)")
+	type trained struct {
+		Sample predictor.Sample
+		Name   string
 	}
-	fmt.Println("phase 1: characterization campaign (training data)")
-	var samples []predictor.Sample
+	var shards []campaign.Shard[trained]
 	for _, b := range workloads.SPEC2006() {
-		cfg := core.DefaultVminConfig(b, core.NominalSetup(silicon.AllCores()...))
-		cfg.Repetitions = 3
-		res, err := fw.VminSearch(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ctr, err := microarch.Simulate(b.Mix, b.Stream, 200000, 0xC0FFEE)
-		if err != nil {
-			log.Fatal(err)
-		}
-		samples = append(samples, predictor.Sample{
-			Features: predictor.FeaturesOf(b, ctr),
-			VminV:    res.SafeVminV,
+		shards = append(shards, campaign.Shard[trained]{
+			Name:  "governor/train/" + b.Name,
+			Board: campaign.Board{Corner: guardband.TTT},
+			Run: func(ctx *campaign.Ctx) (trained, error) {
+				cfg := core.DefaultVminConfig(b, core.NominalSetup(silicon.AllCores()...))
+				cfg.Repetitions = 3
+				cfg.Seed = ctx.CampaignSeed
+				res, err := ctx.Framework.VminSearch(cfg)
+				if err != nil {
+					return trained{}, err
+				}
+				ctr, err := microarch.Simulate(b.Mix, b.Stream, 200000, 0xC0FFEE)
+				if err != nil {
+					return trained{}, err
+				}
+				return trained{
+					Name: b.Name,
+					Sample: predictor.Sample{
+						Features: predictor.FeaturesOf(b, ctr),
+						VminV:    res.SafeVminV,
+					},
+				}, nil
+			},
 		})
-		fmt.Printf("  %-10s chip Vmin %.0f mV\n", b.Name, res.SafeVminV*1000)
 	}
+	rep, err := campaign.Run(campaign.Config{Seed: guardband.DefaultSeed}, shards)
+	if err != nil {
+		return err
+	}
+	var samples []predictor.Sample
+	for _, tr := range rep.Values() {
+		samples = append(samples, tr.Sample)
+		fmt.Fprintf(w, "  %-10s chip Vmin %.0f mV\n", tr.Name, tr.Sample.VminV*1000)
+	}
+	fmt.Fprintf(w, "  campaign: %d runs over %d workers, %v simulated\n",
+		rep.Stats.Runs, rep.Workers, rep.Stats.SimTime)
 
 	// Phase 2: train the predictor.
 	model, err := predictor.Train(samples)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nphase 2: predictor trained, in-sample MAE %.1f mV\n", model.MAE(samples)*1000)
+	fmt.Fprintf(w, "\nphase 2: predictor trained, in-sample MAE %.1f mV\n", model.MAE(samples)*1000)
 
 	// Phase 3: governed deployment on a fresh board.
 	dep, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	gov, err := governor.New(governor.DefaultConfig(), model, &predictor.DroopHistory{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var seq []workloads.Profile
 	for _, n := range []string{"mcf", "namd", "milc", "cactusADM", "gcc", "leslie3d", "bwaves", "gromacs"} {
 		p, err := workloads.ByName(n)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		seq = append(seq, p)
 	}
-	rep, err := gov.RunWorkloads(dep, seq, 7)
+	grep, err := gov.RunWorkloads(dep, seq, 7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nphase 3: governed deployment over %d workloads\n", rep.Runs)
-	fmt.Printf("  mean governed rail: %.0f mV (nominal %.0f)\n",
-		rep.MeanVoltage*1000, guardband.NominalVoltage*1000)
-	fmt.Printf("  PMD energy savings: %.1f%%\n", rep.EnergySavingsPct)
-	fmt.Printf("  disruptions: %d (guard band now %.0f mV)\n", rep.Disruptions, gov.GuardV()*1000)
+	fmt.Fprintf(w, "\nphase 3: governed deployment over %d workloads\n", grep.Runs)
+	fmt.Fprintf(w, "  mean governed rail: %.0f mV (nominal %.0f)\n",
+		grep.MeanVoltage*1000, guardband.NominalVoltage*1000)
+	fmt.Fprintf(w, "  PMD energy savings: %.1f%%\n", grep.EnergySavingsPct)
+	fmt.Fprintf(w, "  disruptions: %d (guard band now %.0f mV)\n", grep.Disruptions, gov.GuardV()*1000)
+	return nil
 }

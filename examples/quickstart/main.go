@@ -6,27 +6,35 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	guardband "repro"
 	"repro/internal/core"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A board is fully determined by (corner, seed): the same pair always
 	// fabricates the same chip and DRAM population.
 	srv, err := guardband.NewServer(guardband.TTT, guardband.DefaultSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fw, err := guardband.NewFramework(srv)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	bench, err := guardband.Workload("mcf")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The paper's undervolting flow: descend from nominal in 5 mV steps,
@@ -35,19 +43,20 @@ func main() {
 	cfg := core.DefaultVminConfig(bench, core.NominalSetup(robust))
 	res, err := fw.VminSearch(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("chip: %s (corner %s)\n", srv.Chip().Serial, srv.Chip().Corner)
-	fmt.Printf("most robust core: %v\n", robust)
-	fmt.Printf("benchmark: %s\n", bench.Name)
-	fmt.Printf("safe Vmin: %.0f mV (nominal %.0f mV)\n",
+	fmt.Fprintf(w, "chip: %s (corner %s)\n", srv.Chip().Serial, srv.Chip().Corner)
+	fmt.Fprintf(w, "most robust core: %v\n", robust)
+	fmt.Fprintf(w, "benchmark: %s\n", bench.Name)
+	fmt.Fprintf(w, "safe Vmin: %.0f mV (nominal %.0f mV)\n",
 		res.SafeVminV*1000, guardband.NominalVoltage*1000)
-	fmt.Printf("guardband: %.0f mV of rail, %.1f%% of dynamic power\n",
+	fmt.Fprintf(w, "guardband: %.0f mV of rail, %.1f%% of dynamic power\n",
 		res.GuardbandV*1000,
 		(1-(res.SafeVminV/guardband.NominalVoltage)*(res.SafeVminV/guardband.NominalVoltage))*100)
-	fmt.Printf("first failure at %.0f mV with outcomes %v\n",
+	fmt.Fprintf(w, "first failure at %.0f mV with outcomes %v\n",
 		res.FirstFailV*1000, res.FailureOutcomes)
-	fmt.Printf("campaign: %d runs, %v of simulated board time\n",
+	fmt.Fprintf(w, "campaign: %d runs, %v of simulated board time\n",
 		len(res.Records), fw.Elapsed())
+	return nil
 }

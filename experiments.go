@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/power"
 	"repro/internal/predictor"
@@ -19,6 +20,12 @@ import (
 // EXPERIMENTS.md; any other seed yields a different (but equally valid)
 // board population.
 const DefaultSeed uint64 = 1
+
+// DefaultWorkers selects the fleet campaign engine's default parallelism
+// (GOMAXPROCS). Every figure driver routes its grid through the engine;
+// the worker count never changes the numbers, only the wall-clock, which
+// the determinism regression tests pin down.
+const DefaultWorkers = 0
 
 // Fig4Entry is one bar of Fig. 4: a benchmark's safe Vmin on one chip's
 // most robust core at 2.4 GHz.
@@ -39,37 +46,47 @@ type Fig4Result struct {
 
 // Fig4SpecVmin reproduces Fig. 4: the full undervolting flow for the ten
 // SPEC CPU2006 profiles on the TTT, TFF and TSS chips' most robust cores,
-// repetitions runs per voltage step (the paper uses ten).
+// repetitions runs per voltage step (the paper uses ten). The grid runs
+// through the fleet campaign engine at the default worker count.
 func Fig4SpecVmin(seed uint64, repetitions int) (Fig4Result, error) {
-	var out Fig4Result
+	return Fig4SpecVminWorkers(seed, repetitions, DefaultWorkers)
+}
+
+// Fig4SpecVminWorkers is Fig4SpecVmin with an explicit worker count. One
+// shard per (chip, benchmark) cell; results are byte-identical for every
+// worker count at a fixed seed.
+func Fig4SpecVminWorkers(seed uint64, repetitions, workers int) (Fig4Result, error) {
+	var shards []campaign.Shard[Fig4Entry]
 	for _, corner := range silicon.Corners() {
-		srv, err := NewServer(corner, seed)
-		if err != nil {
-			return out, err
-		}
-		fw, err := NewFramework(srv)
-		if err != nil {
-			return out, err
-		}
-		robust := srv.Chip().MostRobustCore()
 		for _, bench := range workloads.SPEC2006() {
-			cfg := core.DefaultVminConfig(bench, core.NominalSetup(robust))
-			cfg.Repetitions = repetitions
-			cfg.Seed = seed
-			res, err := fw.VminSearch(cfg)
-			if err != nil {
-				return out, fmt.Errorf("guardband: fig4 %s/%s: %w", corner, bench.Name, err)
-			}
-			v := res.SafeVminV
-			out.Entries = append(out.Entries, Fig4Entry{
-				Chip:         corner.String(),
-				Benchmark:    bench.Name,
-				VminMV:       v * 1000,
-				GuardbandPct: (1 - (v/NominalVoltage)*(v/NominalVoltage)) * 100,
+			shards = append(shards, campaign.Shard[Fig4Entry]{
+				Name:  fmt.Sprintf("fig4/%s/%s", corner, bench.Name),
+				Board: campaign.Board{Corner: corner},
+				Run: func(ctx *campaign.Ctx) (Fig4Entry, error) {
+					robust := ctx.Server.Chip().MostRobustCore()
+					cfg := core.DefaultVminConfig(bench, core.NominalSetup(robust))
+					cfg.Repetitions = repetitions
+					cfg.Seed = seed
+					res, err := ctx.Framework.VminSearch(cfg)
+					if err != nil {
+						return Fig4Entry{}, err
+					}
+					v := res.SafeVminV
+					return Fig4Entry{
+						Chip:         ctx.Server.Chip().Corner.String(),
+						Benchmark:    bench.Name,
+						VminMV:       v * 1000,
+						GuardbandPct: (1 - (v/NominalVoltage)*(v/NominalVoltage)) * 100,
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
+	if err != nil {
+		return Fig4Result{}, fmt.Errorf("guardband: fig4: %w", err)
+	}
+	return Fig4Result{Entries: rep.Values()}, nil
 }
 
 // Range returns the min and max Vmin (mV) measured on one chip.
@@ -144,18 +161,15 @@ type Fig5Result struct {
 // 1.2 GHz, measuring the chip-level safe Vmin at each step, and reporting
 // the power/performance trade-off.
 func Fig5Tradeoff(seed uint64, repetitions int) (Fig5Result, error) {
-	srv, err := NewServer(TTT, seed)
-	if err != nil {
-		return Fig5Result{}, err
-	}
-	fw, err := NewFramework(srv)
-	if err != nil {
-		return Fig5Result{}, err
-	}
-	plan := predictor.PlanDownclock(srv.Chip())
+	return Fig5TradeoffWorkers(seed, repetitions, DefaultWorkers)
+}
 
-	// Scheduling assist: lightest benchmarks on the weakest PMDs, so the
-	// modules that must stay fast carry the heavy current.
+// fig5Assignments computes the Fig. 5 placement: lightest benchmarks on
+// the weakest PMDs, so the modules that must stay fast carry the heavy
+// current. It is a pure function of the chip, so every ladder shard
+// recomputes the identical plan.
+func fig5Assignments(chip *silicon.Chip) (predictor.DownclockPlan, []xgene.Assignment) {
+	plan := predictor.PlanDownclock(chip)
 	mix := workloads.Fig5Mix()
 	sort.Slice(mix, func(i, j int) bool { return mix[i].AvgCurrentA() < mix[j].AvgCurrentA() })
 	assignments := make([]xgene.Assignment, 0, len(mix))
@@ -166,39 +180,56 @@ func Fig5Tradeoff(seed uint64, repetitions int) (Fig5Result, error) {
 			Workload: w,
 		})
 	}
+	return plan, assignments
+}
 
-	var out Fig5Result
+// Fig5TradeoffWorkers is Fig5Tradeoff with an explicit worker count: each
+// rung of the ladder (k slow PMDs) is one shard of the campaign.
+func Fig5TradeoffWorkers(seed uint64, repetitions, workers int) (Fig5Result, error) {
+	var shards []campaign.Shard[Fig5Step]
 	for k := 0; k <= silicon.NumPMDs; k++ {
-		freqs, err := plan.FreqAssignment(k)
-		if err != nil {
-			return out, err
-		}
-		setup := core.NominalSetup(silicon.AllCores()...)
-		setup.PMDFreqHz = freqs
-		res, err := fw.VminSearchMulti(core.MultiVminConfig{
-			Assignments: assignments,
-			Setup:       setup,
-			FloorV:      0.70,
-			StepV:       0.005,
-			Repetitions: repetitions,
-			Seed:        seed,
-		})
-		if err != nil {
-			return out, fmt.Errorf("guardband: fig5 step %d: %w", k, err)
-		}
-		var perfSum float64
-		for _, f := range freqs {
-			perfSum += f / NominalFreqHz
-		}
-		powerPct := power.PMDDynamicRatio(res.SafeVminV, freqs) * 100
-		out.Steps = append(out.Steps, Fig5Step{
-			SlowPMDs:   k,
-			SafeVminMV: res.SafeVminV * 1000,
-			PerfPct:    perfSum / silicon.NumPMDs * 100,
-			PowerPct:   powerPct,
-			SavingsPct: 100 - powerPct,
+		shards = append(shards, campaign.Shard[Fig5Step]{
+			Name:  fmt.Sprintf("fig5/slow%d", k),
+			Board: campaign.Board{Corner: TTT},
+			Run: func(ctx *campaign.Ctx) (Fig5Step, error) {
+				plan, assignments := fig5Assignments(ctx.Server.Chip())
+				freqs, err := plan.FreqAssignment(k)
+				if err != nil {
+					return Fig5Step{}, err
+				}
+				setup := core.NominalSetup(silicon.AllCores()...)
+				setup.PMDFreqHz = freqs
+				res, err := ctx.Framework.VminSearchMulti(core.MultiVminConfig{
+					Assignments: assignments,
+					Setup:       setup,
+					FloorV:      0.70,
+					StepV:       0.005,
+					Repetitions: repetitions,
+					Seed:        seed,
+				})
+				if err != nil {
+					return Fig5Step{}, err
+				}
+				var perfSum float64
+				for _, f := range freqs {
+					perfSum += f / NominalFreqHz
+				}
+				powerPct := power.PMDDynamicRatio(res.SafeVminV, freqs) * 100
+				return Fig5Step{
+					SlowPMDs:   k,
+					SafeVminMV: res.SafeVminV * 1000,
+					PerfPct:    perfSum / silicon.NumPMDs * 100,
+					PowerPct:   powerPct,
+					SavingsPct: 100 - powerPct,
+				}, nil
+			},
 		})
 	}
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
+	if err != nil {
+		return Fig5Result{}, fmt.Errorf("guardband: fig5: %w", err)
+	}
+	out := Fig5Result{Steps: rep.Values()}
 	out.PredictorSavingsPct = out.Steps[0].SavingsPct
 	out.MaxSavingsPct = out.Steps[2].SavingsPct
 	return out, nil
@@ -240,53 +271,103 @@ type Fig6Result struct {
 // flow on the TTT chip, then Vmin-test it against every NAS benchmark on
 // the same (weakest) core. The virus must exhibit the highest Vmin.
 func Fig6VirusVsNAS(seed uint64, repetitions int) (Fig6Result, error) {
-	srv, err := NewServer(TTT, seed)
-	if err != nil {
-		return Fig6Result{}, err
-	}
-	fw, err := NewFramework(srv)
-	if err != nil {
-		return Fig6Result{}, err
-	}
-	weakest := srv.Chip().WeakestCore()
+	return Fig6VirusVsNASWorkers(seed, repetitions, DefaultWorkers)
+}
 
+// fig6Shard is one bar of Fig. 6 plus the virus metadata when the shard
+// crafted it.
+type fig6Shard struct {
+	Entry NamedVmin
+	// Virus marks the crafting shard; EMuV and Loop are set on it.
+	Virus bool
+	EMuV  float64
+	Loop  string
+}
+
+// weakestVminSearch runs the paper's undervolting flow for one profile on
+// the chip's weakest core.
+func weakestVminSearch(ctx *campaign.Ctx, p Profile, seed uint64, repetitions int) (float64, error) {
+	weakest := ctx.Server.Chip().WeakestCore()
+	cfg := core.DefaultVminConfig(p, core.NominalSetup(weakest))
+	cfg.Repetitions = repetitions
+	cfg.Seed = seed
+	res, err := ctx.Framework.VminSearch(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.SafeVminV * 1000, nil
+}
+
+// craftVirus runs the GA+EM flow against the shard's board and wraps the
+// crafted loop as a workload profile on the weakest core.
+func craftVirus(srv *Server, seed uint64) (viruses.DIdtResult, Profile, error) {
+	weakest := srv.Chip().WeakestCore()
 	vcfg := viruses.DefaultDIdtConfig()
 	vcfg.Core = weakest
 	vcfg.GA.Seed = seed
 	crafted, err := viruses.CraftDIdt(srv, vcfg)
 	if err != nil {
-		return Fig6Result{}, err
+		return viruses.DIdtResult{}, Profile{}, err
 	}
-	virusProfile, err := srv.LoopProfile("didt-virus", crafted.Loop, weakest)
+	profile, err := srv.LoopProfile("didt-virus", crafted.Loop, weakest)
 	if err != nil {
-		return Fig6Result{}, err
+		return viruses.DIdtResult{}, Profile{}, err
 	}
+	return crafted, profile, nil
+}
 
-	out := Fig6Result{
-		VirusEMuV: crafted.EMAmplitudeUV,
-		VirusLoop: crafted.Loop.String(),
-	}
-	search := func(p Profile) (float64, error) {
-		cfg := core.DefaultVminConfig(p, core.NominalSetup(weakest))
-		cfg.Repetitions = repetitions
-		cfg.Seed = seed
-		res, err := fw.VminSearch(cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.SafeVminV * 1000, nil
-	}
-	v, err := search(virusProfile)
-	if err != nil {
-		return out, err
-	}
-	out.Virus = NamedVmin{Name: "EM virus", VminMV: v}
+// Fig6VirusVsNASWorkers is Fig6VirusVsNAS with an explicit worker count:
+// the virus (crafting plus Vmin test) and each NAS benchmark are
+// independent shards on the TTT board. The crafting shard demands a fresh
+// board because the GA's fitness signal advances the EM probe's
+// measurement-noise stream.
+func Fig6VirusVsNASWorkers(seed uint64, repetitions, workers int) (Fig6Result, error) {
+	shards := []campaign.Shard[fig6Shard]{{
+		Name:  "fig6/virus",
+		Board: campaign.Board{Corner: TTT, Fresh: true},
+		Run: func(ctx *campaign.Ctx) (fig6Shard, error) {
+			crafted, profile, err := craftVirus(ctx.Server, seed)
+			if err != nil {
+				return fig6Shard{}, err
+			}
+			v, err := weakestVminSearch(ctx, profile, seed, repetitions)
+			if err != nil {
+				return fig6Shard{}, err
+			}
+			return fig6Shard{
+				Entry: NamedVmin{Name: "EM virus", VminMV: v},
+				Virus: true,
+				EMuV:  crafted.EMAmplitudeUV,
+				Loop:  crafted.Loop.String(),
+			}, nil
+		},
+	}}
 	for _, b := range workloads.NASSuite() {
-		v, err := search(b)
-		if err != nil {
-			return out, err
+		shards = append(shards, campaign.Shard[fig6Shard]{
+			Name:  "fig6/" + b.Name,
+			Board: campaign.Board{Corner: TTT},
+			Run: func(ctx *campaign.Ctx) (fig6Shard, error) {
+				v, err := weakestVminSearch(ctx, b, seed, repetitions)
+				if err != nil {
+					return fig6Shard{}, err
+				}
+				return fig6Shard{Entry: NamedVmin{Name: b.Name, VminMV: v}}, nil
+			},
+		})
+	}
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
+	if err != nil {
+		return Fig6Result{}, fmt.Errorf("guardband: fig6: %w", err)
+	}
+	var out Fig6Result
+	for _, s := range rep.Values() {
+		if s.Virus {
+			out.Virus = s.Entry
+			out.VirusEMuV = s.EMuV
+			out.VirusLoop = s.Loop
+			continue
 		}
-		out.NAS = append(out.NAS, NamedVmin{Name: b.Name, VminMV: v})
+		out.NAS = append(out.NAS, s.Entry)
 	}
 	return out, nil
 }
@@ -321,42 +402,41 @@ type Fig7Result struct {
 // on each corner chip; the remaining margin below nominal differs sharply
 // across corners (TTT ~60 mV, TFF ~20 mV, TSS ~none).
 func Fig7InterChip(seed uint64, repetitions int) (Fig7Result, error) {
-	var out Fig7Result
+	return Fig7InterChipWorkers(seed, repetitions, DefaultWorkers)
+}
+
+// Fig7InterChipWorkers is Fig7InterChip with an explicit worker count: one
+// shard per corner chip, each crafting and Vmin-testing the virus on a
+// fresh board (crafting advances the EM probe's noise stream, so the shard
+// must see the probe in its fabrication state).
+func Fig7InterChipWorkers(seed uint64, repetitions, workers int) (Fig7Result, error) {
+	var shards []campaign.Shard[Fig7Entry]
 	for _, corner := range silicon.Corners() {
-		srv, err := NewServer(corner, seed)
-		if err != nil {
-			return out, err
-		}
-		fw, err := NewFramework(srv)
-		if err != nil {
-			return out, err
-		}
-		weakest := srv.Chip().WeakestCore()
-		vcfg := viruses.DefaultDIdtConfig()
-		vcfg.Core = weakest
-		vcfg.GA.Seed = seed
-		crafted, err := viruses.CraftDIdt(srv, vcfg)
-		if err != nil {
-			return out, err
-		}
-		profile, err := srv.LoopProfile("didt-virus", crafted.Loop, weakest)
-		if err != nil {
-			return out, err
-		}
-		cfg := core.DefaultVminConfig(profile, core.NominalSetup(weakest))
-		cfg.Repetitions = repetitions
-		cfg.Seed = seed
-		res, err := fw.VminSearch(cfg)
-		if err != nil {
-			return out, err
-		}
-		out.Entries = append(out.Entries, Fig7Entry{
-			Chip:        corner.String(),
-			VirusVminMV: res.SafeVminV * 1000,
-			MarginMV:    (NominalVoltage - res.SafeVminV) * 1000,
+		shards = append(shards, campaign.Shard[Fig7Entry]{
+			Name:  fmt.Sprintf("fig7/%s", corner),
+			Board: campaign.Board{Corner: corner, Fresh: true},
+			Run: func(ctx *campaign.Ctx) (Fig7Entry, error) {
+				_, profile, err := craftVirus(ctx.Server, seed)
+				if err != nil {
+					return Fig7Entry{}, err
+				}
+				v, err := weakestVminSearch(ctx, profile, seed, repetitions)
+				if err != nil {
+					return Fig7Entry{}, err
+				}
+				return Fig7Entry{
+					Chip:        ctx.Server.Chip().Corner.String(),
+					VirusVminMV: v,
+					MarginMV:    NominalVoltage*1000 - v,
+				}, nil
+			},
 		})
 	}
-	return out, nil
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
+	if err != nil {
+		return Fig7Result{}, fmt.Errorf("guardband: fig7: %w", err)
+	}
+	return Fig7Result{Entries: rep.Values()}, nil
 }
 
 // Table renders the margins.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/dram"
 	"repro/internal/memsched"
 	"repro/internal/power"
@@ -67,70 +68,113 @@ func spreadOf(counts []int) float64 {
 	return float64(mx-mn) / float64(mn)
 }
 
-// Table1BankVariation reproduces Table I using the full flow: the thermal
-// testbed regulates every DIMM to the target temperature (settling under
-// PID control), then the four DPBenches scan the memory at the relaxed
-// refresh period and failing locations are unioned per bank.
-func Table1BankVariation(seed uint64) (Table1Result, error) {
-	srv, err := NewServer(TTT, seed)
-	if err != nil {
-		return Table1Result{}, err
+// regulateDIMMs drives the thermal testbed to the target temperature and
+// returns the per-DIMM regulated temperatures plus the worst deviation from
+// setpoint — the stateful (PID) part of the DRAM flow, which stays serial.
+func regulateDIMMs(tb *thermal.Testbed, dimms int, tempC float64) ([]float64, float64, error) {
+	if err := tb.SetAllTargets(tempC); err != nil {
+		return nil, 0, err
 	}
-	geom := srv.DRAM().Config().Geometry
+	dev, err := tb.Settle(0.5, time.Hour, 5*time.Minute)
+	if err != nil {
+		return nil, 0, err
+	}
+	temps := make([]float64, dimms)
+	for d := 0; d < dimms; d++ {
+		if temps[d], err = tb.Temp(d); err != nil {
+			return nil, 0, err
+		}
+	}
+	return temps, dev, nil
+}
+
+// ApplyDIMMTemps pushes regulated per-DIMM temperatures onto a server —
+// the state every DRAM scan shard must establish itself before scanning.
+func ApplyDIMMTemps(srv *Server, temps []float64) error {
+	for d, t := range temps {
+		if err := srv.SetDIMMTemp(d, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DPBenchScanShard builds one DPBench scan shard: it fabricates (or
+// reuses) a TTT board, establishes the given per-DIMM temperatures, and
+// scans the whole memory with one data-pattern benchmark at the given
+// refresh period. Table I and the dram-char campaign binary share it.
+func DPBenchScanShard(name string, kind dram.PatternKind, temps []float64, trefp time.Duration, seed uint64) campaign.Shard[*dram.ScanResult] {
+	return campaign.Shard[*dram.ScanResult]{
+		Name:  name,
+		Board: campaign.Board{Corner: TTT},
+		Run: func(ctx *campaign.Ctx) (*dram.ScanResult, error) {
+			if err := ApplyDIMMTemps(ctx.Server, temps); err != nil {
+				return nil, err
+			}
+			p, err := dram.NewPattern(kind)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.Server.DRAM().ScanPattern(p, trefp, seed)
+		},
+	}
+}
+
+// Table1BankVariation runs the full flow at the engine's default worker
+// count; see Table1BankVariationWorkers.
+func Table1BankVariation(seed uint64) (Table1Result, error) {
+	return Table1BankVariationWorkers(seed, DefaultWorkers)
+}
+
+// Table1BankVariationWorkers reproduces Table I using the full flow: the
+// thermal testbed regulates every DIMM to each target temperature
+// (settling under PID control, serial because the testbed is stateful),
+// then the four DPBenches scan the memory at the relaxed refresh period as
+// one campaign shard per (temperature, pattern) cell, and failing
+// locations are unioned per bank.
+func Table1BankVariationWorkers(seed uint64, workers int) (Table1Result, error) {
+	geom := dram.DefaultConfig().Geometry
 	tb, err := thermal.NewTestbed(geom.DIMMs, 30, seed)
 	if err != nil {
 		return Table1Result{}, err
 	}
 
 	var out Table1Result
-	scanAt := func(tempC float64) ([]int, error) {
-		if err := tb.SetAllTargets(tempC); err != nil {
-			return nil, err
-		}
-		dev, err := tb.Settle(0.5, time.Hour, 5*time.Minute)
-		if err != nil {
-			return nil, err
-		}
-		if dev > out.RegulationMaxDevC {
-			out.RegulationMaxDevC = dev
-		}
-		for d := 0; d < geom.DIMMs; d++ {
-			temp, err := tb.Temp(d)
-			if err != nil {
-				return nil, err
-			}
-			if err := srv.SetDIMMTemp(d, temp); err != nil {
-				return nil, err
-			}
-		}
-		var scans []*dram.ScanResult
-		ue, sdc := 0, 0
-		for _, kind := range dram.PatternKinds() {
-			p, err := dram.NewPattern(kind)
-			if err != nil {
-				return nil, err
-			}
-			res, err := srv.DRAM().ScanPattern(p, RelaxedTREFP, seed)
-			if err != nil {
-				return nil, err
-			}
-			scans = append(scans, res)
-			ue += res.UE
-			sdc += res.SDC
-		}
-		if ue > 0 || sdc > 0 {
-			out.AllCorrected = false
-		}
-		return uniqueBankCounts(scans, geom.BanksPerDevice), nil
-	}
-
-	out.AllCorrected = true
-	if out.PerBank50, err = scanAt(50); err != nil {
+	temps50, dev50, err := regulateDIMMs(tb, geom.DIMMs, 50)
+	if err != nil {
 		return out, fmt.Errorf("guardband: table1 at 50C: %w", err)
 	}
-	if out.PerBank60, err = scanAt(60); err != nil {
+	temps60, dev60, err := regulateDIMMs(tb, geom.DIMMs, 60)
+	if err != nil {
 		return out, fmt.Errorf("guardband: table1 at 60C: %w", err)
 	}
+	out.RegulationMaxDevC = dev50
+	if dev60 > out.RegulationMaxDevC {
+		out.RegulationMaxDevC = dev60
+	}
+
+	var shards []campaign.Shard[*dram.ScanResult]
+	for _, kind := range dram.PatternKinds() {
+		shards = append(shards, DPBenchScanShard(fmt.Sprintf("table1/50C/%s", kind), kind, temps50, RelaxedTREFP, seed))
+	}
+	for _, kind := range dram.PatternKinds() {
+		shards = append(shards, DPBenchScanShard(fmt.Sprintf("table1/60C/%s", kind), kind, temps60, RelaxedTREFP, seed))
+	}
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
+	if err != nil {
+		return out, fmt.Errorf("guardband: table1: %w", err)
+	}
+
+	scans := rep.Values()
+	n := len(dram.PatternKinds())
+	out.AllCorrected = true
+	for _, s := range scans {
+		if s.UE > 0 || s.SDC > 0 {
+			out.AllCorrected = false
+		}
+	}
+	out.PerBank50 = uniqueBankCounts(scans[:n], geom.BanksPerDevice)
+	out.PerBank60 = uniqueBankCounts(scans[n:], geom.BanksPerDevice)
 	out.Spread50 = spreadOf(out.PerBank50)
 	out.Spread60 = spreadOf(out.PerBank60)
 	return out, nil
@@ -167,41 +211,82 @@ type Fig8aResult struct {
 	AllCorrected bool
 }
 
-// Fig8aBER reproduces Fig. 8a at 60 degC and 35x-relaxed refresh: bit
-// error rates of the four data-pattern benchmarks versus the four Rodinia
-// HPC applications.
+// Fig8aBER runs the comparison at the engine's default worker count; see
+// Fig8aBERWorkers.
 func Fig8aBER(seed uint64) (Fig8aResult, error) {
-	srv, err := NewServer(TTT, seed)
-	if err != nil {
-		return Fig8aResult{}, err
-	}
-	if err := srv.SetAllDIMMTemps(60); err != nil {
-		return Fig8aResult{}, err
-	}
-	out := Fig8aResult{AllCorrected: true}
+	return Fig8aBERWorkers(seed, DefaultWorkers)
+}
+
+// fig8aShard is one bar of Fig. 8a.
+type fig8aShard struct {
+	Entry   BEREntry
+	Rodinia bool
+	Clean   bool // no UE/SDC in the scan
+}
+
+// Fig8aBERWorkers reproduces Fig. 8a at 60 degC and 35x-relaxed refresh:
+// bit error rates of the four data-pattern benchmarks versus the four
+// Rodinia HPC applications, one campaign shard per scan.
+func Fig8aBERWorkers(seed uint64, workers int) (Fig8aResult, error) {
+	var shards []campaign.Shard[fig8aShard]
+	at60 := func(ctx *campaign.Ctx) error { return ctx.Server.SetAllDIMMTemps(60) }
 	for _, kind := range dram.PatternKinds() {
-		p, err := dram.NewPattern(kind)
-		if err != nil {
-			return out, err
-		}
-		res, err := srv.DRAM().ScanPattern(p, RelaxedTREFP, seed)
-		if err != nil {
-			return out, err
-		}
-		if res.UE > 0 || res.SDC > 0 {
-			out.AllCorrected = false
-		}
-		out.DPBench = append(out.DPBench, BEREntry{Name: kind.String(), BER: res.BER})
+		shards = append(shards, campaign.Shard[fig8aShard]{
+			Name:  fmt.Sprintf("fig8a/dp/%s", kind),
+			Board: campaign.Board{Corner: TTT},
+			Run: func(ctx *campaign.Ctx) (fig8aShard, error) {
+				if err := at60(ctx); err != nil {
+					return fig8aShard{}, err
+				}
+				p, err := dram.NewPattern(kind)
+				if err != nil {
+					return fig8aShard{}, err
+				}
+				res, err := ctx.Server.DRAM().ScanPattern(p, RelaxedTREFP, seed)
+				if err != nil {
+					return fig8aShard{}, err
+				}
+				return fig8aShard{
+					Entry: BEREntry{Name: kind.String(), BER: res.BER},
+					Clean: res.UE == 0 && res.SDC == 0,
+				}, nil
+			},
+		})
 	}
 	for _, w := range workloads.RodiniaSuite() {
-		res, err := srv.DRAM().ScanWorkload(w.Mem, RelaxedTREFP, seed)
-		if err != nil {
-			return out, err
-		}
-		if res.UE > 0 || res.SDC > 0 {
+		shards = append(shards, campaign.Shard[fig8aShard]{
+			Name:  "fig8a/rodinia/" + w.Name,
+			Board: campaign.Board{Corner: TTT},
+			Run: func(ctx *campaign.Ctx) (fig8aShard, error) {
+				if err := at60(ctx); err != nil {
+					return fig8aShard{}, err
+				}
+				res, err := ctx.Server.DRAM().ScanWorkload(w.Mem, RelaxedTREFP, seed)
+				if err != nil {
+					return fig8aShard{}, err
+				}
+				return fig8aShard{
+					Entry:   BEREntry{Name: w.Name, BER: res.BER},
+					Rodinia: true,
+					Clean:   res.UE == 0 && res.SDC == 0,
+				}, nil
+			},
+		})
+	}
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
+	if err != nil {
+		return Fig8aResult{}, fmt.Errorf("guardband: fig8a: %w", err)
+	}
+	out := Fig8aResult{AllCorrected: true}
+	for _, s := range rep.Values() {
+		if !s.Clean {
 			out.AllCorrected = false
 		}
-		out.Rodinia = append(out.Rodinia, BEREntry{Name: w.Name, BER: res.BER})
+		if s.Rodinia {
+			out.Rodinia = append(out.Rodinia, s.Entry)
+		} else {
+			out.DPBench = append(out.DPBench, s.Entry)
+		}
 	}
 	return out, nil
 }

@@ -2,7 +2,9 @@ package guardband
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/jammer"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -47,40 +49,64 @@ func SafeOperatingPoint() (pmdV, socV float64, trefp float64) {
 	return 0.930, 0.920, RelaxedTREFP.Seconds()
 }
 
-// Fig9JammerSavings reproduces Fig. 9: run four parallel jammer-detector
-// instances at nominal settings and at the safe operating point, read the
-// per-domain power sensors, verify clean execution and QoS, and report
-// the savings.
+// Fig9JammerSavings runs the demo at the engine's default worker count;
+// see Fig9JammerSavingsWorkers.
 func Fig9JammerSavings(seed uint64) (Fig9Result, error) {
-	srv, err := NewServer(TTT, seed)
-	if err != nil {
-		return Fig9Result{}, err
-	}
+	return Fig9JammerSavingsWorkers(seed, DefaultWorkers)
+}
+
+// Fig9JammerSavingsWorkers reproduces Fig. 9: run four parallel
+// jammer-detector instances at nominal settings and at the safe operating
+// point (one campaign shard per operating point), read the per-domain
+// power sensors, verify clean execution and QoS, and report the savings.
+func Fig9JammerSavingsWorkers(seed uint64, workers int) (Fig9Result, error) {
 	profile := workloads.Jammer()
 	spec := xgene.RunSpec{Workload: profile, Cores: silicon.AllCores(), Seed: seed}
 
-	nominal, err := srv.Run(spec)
+	// Each shard establishes its full operating point itself (the engine
+	// may hand it a reused board carrying the other shard's settings).
+	atPoint := func(pmdV, socV float64, trefp time.Duration) func(*campaign.Ctx) (xgene.RunResult, error) {
+		return func(ctx *campaign.Ctx) (xgene.RunResult, error) {
+			if err := ctx.Server.SetPMDVoltage(pmdV); err != nil {
+				return xgene.RunResult{}, err
+			}
+			if err := ctx.Server.SetSoCVoltage(socV); err != nil {
+				return xgene.RunResult{}, err
+			}
+			if err := ctx.Server.SetTREFP(trefp); err != nil {
+				return xgene.RunResult{}, err
+			}
+			return ctx.Server.Run(spec)
+		}
+	}
+	safePMDV, safeSoCV, _ := SafeOperatingPoint()
+	nominalRun := atPoint(NominalVoltage, NominalVoltage, NominalTREFP)
+	shards := []campaign.Shard[xgene.RunResult]{
+		{
+			Name:  "fig9/nominal",
+			Board: campaign.Board{Corner: TTT},
+			Run: func(ctx *campaign.Ctx) (xgene.RunResult, error) {
+				res, err := nominalRun(ctx)
+				if err != nil {
+					return res, err
+				}
+				if res.Outcome != xgene.OutcomeOK {
+					return res, fmt.Errorf("nominal run not clean: %v", res.Outcome)
+				}
+				return res, nil
+			},
+		},
+		{
+			Name:  "fig9/safe-point",
+			Board: campaign.Board{Corner: TTT},
+			Run:   atPoint(safePMDV, safeSoCV, RelaxedTREFP),
+		},
+	}
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
 	if err != nil {
-		return Fig9Result{}, err
+		return Fig9Result{}, fmt.Errorf("guardband: fig9: %w", err)
 	}
-	if nominal.Outcome != xgene.OutcomeOK {
-		return Fig9Result{}, fmt.Errorf("guardband: fig9 nominal run not clean: %v", nominal.Outcome)
-	}
-
-	pmdV, socV, _ := SafeOperatingPoint()
-	if err := srv.SetPMDVoltage(pmdV); err != nil {
-		return Fig9Result{}, err
-	}
-	if err := srv.SetSoCVoltage(socV); err != nil {
-		return Fig9Result{}, err
-	}
-	if err := srv.SetTREFP(RelaxedTREFP); err != nil {
-		return Fig9Result{}, err
-	}
-	undervolted, err := srv.Run(spec)
-	if err != nil {
-		return Fig9Result{}, err
-	}
+	nominal, undervolted := rep.Results[0].Value, rep.Results[1].Value
 
 	// QoS of the real detector pipeline at the (unchanged) nominal clock.
 	dep, err := jammer.NewDeployment(jammer.DefaultConfig(), 4)

@@ -1,0 +1,93 @@
+package guardband
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFig4SerialParallelIdentical pins the engine's headline guarantee:
+// Fig. 4 is byte-identical between serial (one worker) and parallel
+// execution at the same seed, at every worker count.
+func TestFig4SerialParallelIdentical(t *testing.T) {
+	serial, err := Fig4SpecVminWorkers(DefaultSeed, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		parallel, err := Fig4SpecVminWorkers(DefaultSeed, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Fig4 results differ between 1 and %d workers", workers)
+		}
+		if serial.Table().String() != parallel.Table().String() {
+			t.Errorf("Fig4 table rendering differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestFig7SerialParallelIdentical does the same for the inter-chip virus
+// experiment, whose shards craft on fresh boards.
+func TestFig7SerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("virus crafting sweep skipped in -short mode")
+	}
+	serial, err := Fig7InterChipWorkers(DefaultSeed, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig7InterChipWorkers(DefaultSeed, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("Fig7 results differ between serial and parallel execution")
+	}
+	if serial.Table().String() != parallel.Table().String() {
+		t.Error("Fig7 table rendering differs between serial and parallel execution")
+	}
+}
+
+// TestDramExperimentsSerialParallelIdentical covers the engine-backed DRAM
+// flows (Table I scans, Fig. 8a) at several worker counts.
+func TestDramExperimentsSerialParallelIdentical(t *testing.T) {
+	t1serial, err := Table1BankVariationWorkers(DefaultSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1parallel, err := Table1BankVariationWorkers(DefaultSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1serial, t1parallel) {
+		t.Error("Table1 results differ between serial and parallel execution")
+	}
+
+	f8serial, err := Fig8aBERWorkers(DefaultSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8parallel, err := Fig8aBERWorkers(DefaultSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f8serial, f8parallel) {
+		t.Error("Fig8a results differ between serial and parallel execution")
+	}
+}
+
+// TestFig9SerialParallelIdentical covers the two-operating-point campaign.
+func TestFig9SerialParallelIdentical(t *testing.T) {
+	serial, err := Fig9JammerSavingsWorkers(DefaultSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig9JammerSavingsWorkers(DefaultSeed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("Fig9 results differ between serial and parallel execution")
+	}
+}

@@ -1,0 +1,319 @@
+// Package campaign is the concurrent fleet campaign engine: it shards a
+// characterization grid (setups x benchmarks x repetitions, or any other
+// decomposition of a paper-scale experiment) across N independent simulated
+// servers driven by a worker pool.
+//
+// The engine's contract is built on two properties of the substrate:
+//
+//   - Board fabrication is a pure function of (corner, seed): the same pair
+//     always yields the same chip and DRAM population, so every shard can
+//     fabricate its own board and still characterize the same silicon the
+//     serial drivers do.
+//   - Runs are history-independent: xgene.Server.Run derives all run-to-run
+//     variation by splitting the server's root stream with the run's own
+//     (workload, seed) label, without advancing any persistent RNG state,
+//     and the framework re-applies the full setup before every run. A
+//     shard's results therefore do not depend on which worker executed it
+//     or on what ran before it on the same board.
+//
+// Together these make the engine deterministic by construction: for a fixed
+// campaign seed the aggregated results are byte-identical for any worker
+// count, which the determinism regression tests pin down.
+//
+// Seeding contract: every shard owns a derived seed obtained by splitting
+// the campaign seed with the shard's unique name through xrand (see
+// ShardSeed). Shards must never share RNG state; anything stochastic inside
+// a shard derives from ctx.Seed (or, for the calibrated figure drivers,
+// from the campaign seed itself, which is also exposed on the context).
+//
+// The one stateful instrument on the board is the EM probe (its measurement
+// noise stream advances per sample). Shards that craft viruses through the
+// probe must request a pristine board with Fresh: true; plain Vmin/scan/run
+// shards may share a cached per-worker board, which amortizes fabrication.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/silicon"
+	"repro/internal/xgene"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Workers is the number of concurrent workers (independent simulated
+	// servers executing shards). Zero or negative means GOMAXPROCS. The
+	// worker count never changes results, only wall-clock.
+	Workers int
+	// Seed is the campaign seed: board populations and shard seeds all
+	// derive from it.
+	Seed uint64
+}
+
+// Board selects the simulated server a shard runs on.
+type Board struct {
+	// Corner is the chip's process corner (zero value means TTT, matching
+	// xgene.NewServer).
+	Corner silicon.Corner
+	// Seed overrides the board fabrication seed; zero means "the campaign
+	// seed" (the figure drivers characterize the same board population as
+	// their serial ancestors). Fleet campaigns pass distinct seeds to
+	// fabricate distinct chips of the same corner.
+	Seed uint64
+	// Fresh forces a newly fabricated board for this shard instead of a
+	// per-worker cached one. Required by shards that advance instrument
+	// state outside the run path (e.g. EM-probe-driven virus crafting).
+	Fresh bool
+}
+
+// Ctx is what a shard's Run function receives: its identity, its seeds and
+// its private characterization stack.
+type Ctx struct {
+	// Name and Index identify the shard within the campaign.
+	Name  string
+	Index int
+	// CampaignSeed is the campaign's root seed.
+	CampaignSeed uint64
+	// Seed is the shard's derived seed (ShardSeed(CampaignSeed, Name)).
+	Seed uint64
+	// Server is the shard's simulated board.
+	Server *xgene.Server
+	// Framework is a fresh characterization framework over Server; its
+	// records and simulated clock feed the shard's bookkeeping.
+	Framework *core.Framework
+}
+
+// Shard is one independent unit of campaign work.
+type Shard[T any] struct {
+	// Name must be unique within the campaign; it keys the shard's derived
+	// seed and labels its results.
+	Name string
+	// Board selects the simulated server.
+	Board Board
+	// Run executes the shard.
+	Run func(ctx *Ctx) (T, error)
+}
+
+// Stats is campaign bookkeeping, per shard and aggregated.
+type Stats struct {
+	// Shards counts completed shards (1 for per-shard stats).
+	Shards int
+	// Runs counts framework runs.
+	Runs int
+	// Recoveries counts runs that required watchdog reset / reboot.
+	Recoveries int
+	// SimTime is the total simulated board time consumed.
+	SimTime time.Duration
+	// Outcomes counts run outcomes.
+	Outcomes map[xgene.Outcome]int
+}
+
+// add folds s2 into s.
+func (s *Stats) add(s2 Stats) {
+	s.Shards += s2.Shards
+	s.Runs += s2.Runs
+	s.Recoveries += s2.Recoveries
+	s.SimTime += s2.SimTime
+	for o, n := range s2.Outcomes {
+		if s.Outcomes == nil {
+			s.Outcomes = make(map[xgene.Outcome]int)
+		}
+		s.Outcomes[o] += n
+	}
+}
+
+// statsOf summarizes one shard's framework records.
+func statsOf(records []core.RunRecord, elapsed time.Duration) Stats {
+	st := Stats{Shards: 1, Runs: len(records), SimTime: elapsed}
+	if len(records) > 0 {
+		st.Outcomes = make(map[xgene.Outcome]int, 4)
+	}
+	for _, r := range records {
+		if r.Recovered {
+			st.Recoveries++
+		}
+		st.Outcomes[r.Outcome]++
+	}
+	return st
+}
+
+// Result is one shard's outcome.
+type Result[T any] struct {
+	Name  string
+	Index int
+	Value T
+	Err   error
+	// Records holds every framework run of the shard, in execution order.
+	Records []core.RunRecord
+	// Stats is the shard's bookkeeping.
+	Stats Stats
+}
+
+// Report aggregates a completed campaign in shard-submission order.
+type Report[T any] struct {
+	Results []Result[T]
+	// Stats is the campaign-level aggregate.
+	Stats Stats
+	// Workers is the resolved worker count that executed the campaign.
+	Workers int
+}
+
+// Values returns the shard values in submission order. Call only on an
+// error-free campaign.
+func (r *Report[T]) Values() []T {
+	out := make([]T, len(r.Results))
+	for i, res := range r.Results {
+		out[i] = res.Value
+	}
+	return out
+}
+
+// Records returns every framework record of the campaign, concatenated in
+// shard-submission order.
+func (r *Report[T]) Records() []core.RunRecord {
+	var out []core.RunRecord
+	for _, res := range r.Results {
+		out = append(out, res.Records...)
+	}
+	return out
+}
+
+// Err returns the lowest-indexed shard error, or nil.
+func (r *Report[T]) Err() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// ShardSeed derives a shard's seed from the campaign seed and the shard's
+// unique name, by splitting an xrand stream. It is a pure function, so the
+// seed does not depend on worker count, scheduling, or sibling shards.
+func ShardSeed(campaignSeed uint64, name string) uint64 {
+	return xrand.New(campaignSeed).Split("campaign/shard/" + name).Uint64()
+}
+
+// boardKey identifies a reusable board in a worker's cache.
+type boardKey struct {
+	corner silicon.Corner
+	seed   uint64
+}
+
+// Run executes every shard across the configured worker pool and returns
+// the ordered report. The returned error is the first (lowest-index) shard
+// error, if any; the report is always returned so partial results and
+// bookkeeping survive failures.
+func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
+	if len(shards) == 0 {
+		return nil, errors.New("campaign: no shards")
+	}
+	names := make(map[string]bool, len(shards))
+	for _, sh := range shards {
+		if sh.Name == "" {
+			return nil, errors.New("campaign: shard with empty name")
+		}
+		if sh.Run == nil {
+			return nil, fmt.Errorf("campaign: shard %s has no Run", sh.Name)
+		}
+		if names[sh.Name] {
+			return nil, fmt.Errorf("campaign: duplicate shard name %s", sh.Name)
+		}
+		names[sh.Name] = true
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	results := make([]Result[T], len(shards))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns its boards; nothing is shared across
+			// goroutines, so no locks guard the simulation itself.
+			boards := make(map[boardKey]*xgene.Server)
+			for i := range jobs {
+				results[i] = runShard(cfg, i, shards[i], boards)
+			}
+		}()
+	}
+	for i := range shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report[T]{Results: results, Workers: workers}
+	for _, res := range results {
+		rep.Stats.add(res.Stats)
+	}
+	return rep, rep.Err()
+}
+
+// runShard executes one shard on the calling worker, fabricating or reusing
+// its board and wrapping it with a fresh framework.
+func runShard[T any](cfg Config, idx int, sh Shard[T], boards map[boardKey]*xgene.Server) Result[T] {
+	res := Result[T]{Name: sh.Name, Index: idx}
+	boardSeed := sh.Board.Seed
+	if boardSeed == 0 {
+		boardSeed = cfg.Seed
+	}
+	corner := sh.Board.Corner
+	if corner == 0 {
+		corner = silicon.TTT
+	}
+
+	var srv *xgene.Server
+	var err error
+	key := boardKey{corner: corner, seed: boardSeed}
+	if !sh.Board.Fresh {
+		srv = boards[key]
+	}
+	if srv == nil {
+		srv, err = xgene.NewServer(xgene.Options{Corner: corner, Seed: boardSeed})
+		if err != nil {
+			res.Err = fmt.Errorf("campaign: shard %s: fab board: %w", sh.Name, err)
+			return res
+		}
+		if !sh.Board.Fresh {
+			boards[key] = srv
+		}
+	}
+
+	fw, err := core.NewFramework(srv)
+	if err != nil {
+		res.Err = fmt.Errorf("campaign: shard %s: %w", sh.Name, err)
+		return res
+	}
+	ctx := &Ctx{
+		Name:         sh.Name,
+		Index:        idx,
+		CampaignSeed: cfg.Seed,
+		Seed:         ShardSeed(cfg.Seed, sh.Name),
+		Server:       srv,
+		Framework:    fw,
+	}
+	v, err := sh.Run(ctx)
+	res.Value = v
+	if err != nil {
+		res.Err = fmt.Errorf("campaign: shard %s: %w", sh.Name, err)
+	}
+	res.Records = fw.Records()
+	res.Stats = statsOf(res.Records, fw.Elapsed())
+	return res
+}

@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+)
+
+// recoveryGrid is a small grid whose deepest setup disrupts runs, so the
+// determinism guarantee is exercised across the crash/hang recovery paths,
+// not just clean runs.
+func recoveryGrid(t *testing.T) Grid {
+	t.Helper()
+	core0 := silicon.CoreID{}
+	nominal := core.NominalSetup(core0)
+	mid := nominal
+	mid.PMDVoltage = 0.88
+	deep := nominal
+	deep.PMDVoltage = 0.78 // below logic Vcrit: crashes and hangs
+	return Grid{
+		Name: "determinism",
+		Benches: []workloads.Profile{
+			mustProfile(t, "mcf"),
+			mustProfile(t, "cactusADM"),
+		},
+		Setups:      []core.Setup{nominal, mid, deep},
+		Repetitions: 4,
+	}
+}
+
+// TestGridDeterministicAcrossWorkerCounts pins the shard-seeding contract:
+// the same campaign seed must produce identical aggregated results for
+// worker counts 1, 4 and 16.
+func TestGridDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := recoveryGrid(t)
+	base, err := RunGrid(Config{Workers: 1, Seed: 7}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Recoveries == 0 {
+		t.Fatal("grid exercised no recovery path; determinism test too weak")
+	}
+	for _, workers := range []int{4, 16} {
+		rep, err := RunGrid(Config{Workers: workers, Seed: 7}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Records, rep.Records) {
+			t.Errorf("records differ between 1 and %d workers", workers)
+		}
+		if !reflect.DeepEqual(base.Stats, rep.Stats) {
+			t.Errorf("stats differ between 1 and %d workers: %+v vs %+v",
+				workers, base.Stats, rep.Stats)
+		}
+	}
+}
+
+// TestGridSeedSensitivity guards the other half of the contract: distinct
+// campaign seeds must not replay the same run variation.
+func TestGridSeedSensitivity(t *testing.T) {
+	g := recoveryGrid(t)
+	a, err := RunGrid(Config{Workers: 2, Seed: 7}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGrid(Config{Workers: 2, Seed: 8}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Records, b.Records) {
+		t.Error("different campaign seeds reproduced identical records")
+	}
+}
+
+// TestShardResultsPlacementIndependent runs the same shard set twice with
+// worker counts chosen so shard-to-worker placement (and board reuse
+// grouping) must differ, and demands identical per-shard records.
+func TestShardResultsPlacementIndependent(t *testing.T) {
+	bench := mustProfile(t, "milc")
+	var shards []Shard[float64]
+	for _, corner := range silicon.Corners() {
+		for i := 0; i < 3; i++ {
+			name := "place/" + corner.String() + "/" + string(rune('a'+i))
+			shards = append(shards, Shard[float64]{
+				Name:  name,
+				Board: Board{Corner: corner},
+				Run: func(ctx *Ctx) (float64, error) {
+					cfg := core.DefaultVminConfig(bench, core.NominalSetup(ctx.Server.Chip().MostRobustCore()))
+					cfg.Repetitions = 2
+					cfg.Seed = ctx.Seed
+					res, err := ctx.Framework.VminSearch(cfg)
+					if err != nil {
+						return 0, err
+					}
+					return res.SafeVminV, nil
+				},
+			})
+		}
+	}
+	one, err := Run(Config{Workers: 1, Seed: 3}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(Config{Workers: 9, Seed: 3}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Values(), many.Values()) {
+		t.Error("shard values depend on worker placement")
+	}
+	for i := range one.Results {
+		if !reflect.DeepEqual(one.Results[i].Records, many.Results[i].Records) {
+			t.Errorf("shard %s records depend on worker placement", one.Results[i].Name)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// Grid is a plain characterization grid: every benchmark at every setup,
+// repetitions times each — the sharded equivalent of
+// core.Framework.Campaign, with one shard per (benchmark, setup) cell.
+type Grid struct {
+	// Name labels the grid; it prefixes shard names (and therefore keys
+	// the derived seeds), so two grids under the same campaign seed draw
+	// independent run variation.
+	Name string
+	// Board is the simulated server every cell characterizes.
+	Board Board
+	// Benches and Setups span the grid.
+	Benches []workloads.Profile
+	Setups  []core.Setup
+	// Repetitions per cell (the paper runs ten).
+	Repetitions int
+}
+
+// Validate reports grid construction errors.
+func (g Grid) Validate() error {
+	if g.Name == "" {
+		return errors.New("campaign: grid needs a name")
+	}
+	if len(g.Benches) == 0 || len(g.Setups) == 0 {
+		return errors.New("campaign: grid needs benchmarks and setups")
+	}
+	if g.Repetitions <= 0 {
+		return errors.New("campaign: grid repetitions must be positive")
+	}
+	return nil
+}
+
+// GridReport is a completed grid campaign.
+type GridReport struct {
+	// Records holds every run in deterministic grid order (benchmark-major,
+	// then setup, then repetition) — the same order the serial
+	// core.Framework.Campaign produces.
+	Records []core.RunRecord
+	// Stats is the campaign-level aggregate.
+	Stats Stats
+	// Workers is the resolved worker count.
+	Workers int
+}
+
+// Summaries aggregates the grid's records per (benchmark, voltage) cell.
+func (r *GridReport) Summaries() []core.Summary {
+	return core.Summarize(r.Records)
+}
+
+// RunGrid executes a grid across the worker pool. Each (benchmark, setup)
+// cell is one shard; within a cell, repetition seeds derive from the
+// shard's seed via xrand, so no two cells (and no two repetitions) share
+// RNG state and the result is independent of worker count.
+func RunGrid(cfg Config, g Grid) (*GridReport, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	var shards []Shard[[]core.RunRecord]
+	for bi, bench := range g.Benches {
+		for si, setup := range g.Setups {
+			shards = append(shards, Shard[[]core.RunRecord]{
+				Name:  fmt.Sprintf("%s/b%d/%s/s%d", g.Name, bi, bench.Name, si),
+				Board: g.Board,
+				Run: func(ctx *Ctx) ([]core.RunRecord, error) {
+					reps := xrand.New(ctx.Seed).Split("grid/reps")
+					out := make([]core.RunRecord, 0, g.Repetitions)
+					for rep := 0; rep < g.Repetitions; rep++ {
+						rec, err := ctx.Framework.ExecuteRun(bench, setup, rep, reps.Uint64())
+						if err != nil {
+							return out, err
+						}
+						out = append(out, rec)
+					}
+					return out, nil
+				},
+			})
+		}
+	}
+	rep, err := Run(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	out := &GridReport{Stats: rep.Stats, Workers: rep.Workers}
+	for _, cell := range rep.Results {
+		out.Records = append(out.Records, cell.Value...)
+	}
+	return out, nil
+}
