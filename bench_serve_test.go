@@ -1,0 +1,70 @@
+package guardband
+
+// Streaming-overhead benchmarks for the campaign service layer: the same
+// Fig. 4-shaped grid run as a plain batch campaign, with the engine's
+// ordering-buffer stream fanned into a null sink, and with full JSONL
+// encoding (what a campaignd subscriber receives). The deltas are the cost
+// of live result streaming; BENCH_serve.json records a measured snapshot.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// fig4StreamSpec is the Fig. 4 grid in service-spec form: the ten SPEC
+// CPU2006 profiles at a descending voltage ladder on the most robust core,
+// two repetitions per cell (10 x 5 x 2 = 100 records).
+func fig4StreamSpec() serve.Spec {
+	return serve.Spec{
+		Name:        "fig4",
+		Seed:        DefaultSeed,
+		Benches:     specNames(),
+		VoltagesMV:  []float64{980, 960, 940, 920, 900},
+		Repetitions: 2,
+	}
+}
+
+func specNames() []string {
+	var names []string
+	for _, p := range workloads.SPEC2006() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// nullSink consumes records without encoding them: measures the pure
+// ordering-buffer overhead.
+type nullSink struct{ n int }
+
+func (s *nullSink) Record(core.RunRecord) error { s.n++; return nil }
+
+// BenchmarkStreamFig4 compares streamed vs batch campaign overhead on the
+// Fig. 4 grid. Sub-benchmarks: "batch" (no sink), "stream-null" (ordering
+// buffer only), "stream-jsonl" (ordering buffer + JSONL encoding to a
+// discarded writer — the daemon's stream path without the socket).
+func BenchmarkStreamFig4(b *testing.B) {
+	grid, err := fig4StreamSpec().Grid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runGrid := func(b *testing.B, sink core.Sink) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			rep, err := campaign.RunGrid(campaign.Config{Seed: DefaultSeed, Sink: sink}, grid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Records) != 100 {
+				b.Fatalf("records = %d, want 100", len(rep.Records))
+			}
+		}
+	}
+	b.Run("batch", func(b *testing.B) { runGrid(b, nil) })
+	b.Run("stream-null", func(b *testing.B) { runGrid(b, &nullSink{}) })
+	b.Run("stream-jsonl", func(b *testing.B) { runGrid(b, core.NewJSONLSink(io.Discard)) })
+}

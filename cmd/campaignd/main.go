@@ -1,0 +1,109 @@
+// Command campaignd is the characterization campaign daemon: the fleet
+// campaign engine behind an HTTP/JSON service. Clients POST grid specs,
+// tail live NDJSON/SSE record streams, and repeated submissions are
+// answered from the in-memory characterization cache instead of re-running
+// the grid (see internal/serve for the API).
+//
+// Usage:
+//
+//	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
+//
+// The daemon prints the bound address on startup (use -addr 127.0.0.1:0
+// to pick a free port) and shuts down gracefully on SIGINT/SIGTERM:
+// running campaigns are cancelled between shards, open streams terminate.
+//
+// Quick start:
+//
+//	campaignd -addr 127.0.0.1:8080 &
+//	curl -s -X POST localhost:8080/campaigns \
+//	  -d '{"seed":7,"benches":["mcf"],"voltages_mv":[980,940],"repetitions":2}'
+//	curl -sN localhost:8080/campaigns/c000000/stream
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:], nil); err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until ctx is cancelled. If ready is
+// non-nil it receives the bound address once the listener is up (the smoke
+// tests use this; the printed "listening" line carries the same address
+// for shell consumers).
+func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	queue := fs.Int("queue", 16, "run queue depth: campaigns waiting beyond the running ones")
+	concurrency := fs.Int("concurrency", 1, "campaigns executing at once")
+	spool := fs.String("spool", "", "append every run record to this JSONL spool file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	srv := serve.New(serve.Options{QueueDepth: *queue, Concurrency: *concurrency})
+	defer srv.Close()
+
+	if *spool != "" {
+		f, err := os.OpenFile(*spool, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open spool: %w", err)
+		}
+		defer f.Close()
+		srv.AttachSink(core.NewJSONLSink(f))
+		fmt.Fprintf(w, "campaignd spooling records to %s\n", *spool)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "campaignd listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Cancel campaigns first so open streams terminate, then drain
+		// connections; force-close stragglers after the grace period.
+		srv.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			hs.Close()
+		}
+	}()
+	err = hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	<-shutdownDone
+	fmt.Fprintln(w, "campaignd: shut down")
+	return err
+}

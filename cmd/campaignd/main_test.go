@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter makes the daemon's log writer safe to read while it serves.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out syncWriter
+	if err := run(context.Background(), &out, []string{"-addr"}, nil); err == nil {
+		t.Error("dangling -addr accepted")
+	}
+	if err := run(context.Background(), &out, []string{"-addr", "not-an-address"}, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+	if err := run(context.Background(), &out, []string{"-spool", filepath.Join(t.TempDir(), "no", "such", "dir", "s.jsonl")}, nil); err == nil {
+		t.Error("unopenable spool accepted")
+	}
+}
+
+// TestDaemonSmoke boots the daemon on a free port, submits a tiny grid,
+// tails the stream to completion, checks the record count and the spool,
+// and shuts down cleanly.
+func TestDaemonSmoke(t *testing.T) {
+	spool := filepath.Join(t.TempDir(), "spool.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncWriter
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, &out, []string{"-addr", "127.0.0.1:0", "-spool", spool}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	spec := `{"seed":7,"benches":["mcf"],"voltages_mv":[980,940],"repetitions":2}`
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Stream string `json:"stream"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.Cached {
+		t.Fatalf("submit: status %d cached %v", resp.StatusCode, sub.Cached)
+	}
+
+	stream, err := http.Get(base + sub.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 {
+		t.Errorf("stream yielded %d records, want 4 (1 bench x 2 voltages x 2 reps)", lines)
+	}
+
+	// The spool sink saw the same records.
+	data, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != 4 {
+		t.Errorf("spool holds %d records, want 4", got)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("daemon shutdown error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	log := out.String()
+	for _, want := range []string{"campaignd listening on http://", "campaignd: shut down"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("daemon log missing %q:\n%s", want, log)
+		}
+	}
+}

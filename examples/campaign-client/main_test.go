@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallGridInProcess(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{
+		"-benches", "mcf,namd", "-voltages", "980,940", "-reps", "2", "-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"started in-process campaignd",
+		"cached=false",
+		"stream complete: 8 records", // 2 benches x 2 voltages x 2 reps
+		"mcf", "namd",
+		"status done",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-voltages", "not-a-number"}); err == nil {
+		t.Error("bad voltage accepted")
+	}
+	if err := run(&out, []string{"-benches", "no-such-bench", "-voltages", "980"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run(&out, []string{"-addr", "127.0.0.1:1", "-benches", "mcf", "-voltages", "980"}); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+}

@@ -33,6 +33,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -52,8 +53,51 @@ type Config struct {
 	// worker count never changes results, only wall-clock.
 	Workers int
 	// Seed is the campaign seed: board populations and shard seeds all
-	// derive from it.
+	// derive from it. Zero is rejected by Validate: Board.Seed == 0 means
+	// "inherit the campaign seed", so a zero campaign seed would make that
+	// fallback ambiguous. Pick an explicit nonzero seed.
 	Seed uint64
+	// Sink, if set, receives every record of the campaign live, in
+	// deterministic grid order (shard-submission order, and execution order
+	// within a shard), as shards complete. An ordering buffer holds a
+	// completed shard's records until every lower-indexed shard has
+	// finished, so the streamed sequence is byte-identical to
+	// Report.Records for any worker count. A failed shard's records stream
+	// up to its failure; shards skipped by cancellation emit nothing, and
+	// neither does any shard above the first skipped index. A sink error
+	// stops further emission and is returned by Run when no shard error
+	// outranks it.
+	Sink core.Sink
+	// Context, if set, cancels the campaign between shards: workers finish
+	// their in-flight shard and stop, and every shard not yet dispatched
+	// reports the context's error as its Result.Err. Nil means never
+	// cancel.
+	Context context.Context
+}
+
+// Validate reports configuration errors. A zero Seed is rejected because
+// the zero value is the Board.Seed sentinel for "inherit the campaign
+// seed"; allowing a zero campaign seed would collapse that fallback into
+// ambiguity ("did the caller pick 0 or forget to seed?").
+func (c Config) Validate() error {
+	if c.Seed == 0 {
+		return errors.New("campaign: zero campaign seed (Board.Seed 0 means \"inherit the campaign seed\"; pick an explicit nonzero seed)")
+	}
+	return nil
+}
+
+// effectiveWorkers is the single place worker-count normalization happens:
+// zero or negative means GOMAXPROCS, and the pool never exceeds the shard
+// count (extra workers would only idle).
+func (c Config) effectiveWorkers(shards int) int {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return workers
 }
 
 // Board selects the simulated server a shard runs on.
@@ -207,11 +251,71 @@ type boardKey struct {
 	seed   uint64
 }
 
+// streamer is the ordering buffer behind Config.Sink: workers report
+// shard completions in any order, and the streamer releases records to the
+// sink strictly in shard-submission order, so the live stream replays the
+// batch report byte for byte at any worker count.
+type streamer struct {
+	sink core.Sink
+
+	mu      sync.Mutex
+	next    int
+	done    []bool
+	pending [][]core.RunRecord
+	err     error
+}
+
+func newStreamer(sink core.Sink, shards int) *streamer {
+	return &streamer{
+		sink:    sink,
+		done:    make([]bool, shards),
+		pending: make([][]core.RunRecord, shards),
+	}
+}
+
+// complete buffers shard i's records and flushes every released prefix
+// shard to the sink. Safe for concurrent use by the worker pool; emission
+// happens under the lock, so records can never interleave out of order.
+func (s *streamer) complete(i int, records []core.RunRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done[i] = true
+	s.pending[i] = records
+	for s.next < len(s.done) && s.done[s.next] {
+		for _, rec := range s.pending[s.next] {
+			if s.err != nil {
+				break
+			}
+			if err := s.sink.Record(rec); err != nil {
+				s.err = fmt.Errorf("campaign: sink: %w", err)
+			}
+		}
+		s.pending[s.next] = nil
+		s.next++
+	}
+}
+
+// sinkErr returns the first sink failure, if any.
+func (s *streamer) sinkErr() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // Run executes every shard across the configured worker pool and returns
 // the ordered report. The returned error is the first (lowest-index) shard
 // error, if any; the report is always returned so partial results and
 // bookkeeping survive failures.
 func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(shards) == 0 {
 		return nil, errors.New("campaign: no shards")
 	}
@@ -229,12 +333,14 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 		names[sh.Name] = true
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers := cfg.effectiveWorkers(len(shards))
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if workers > len(shards) {
-		workers = len(shards)
+	var stream *streamer
+	if cfg.Sink != nil {
+		stream = newStreamer(cfg.Sink, len(shards))
 	}
 
 	results := make([]Result[T], len(shards))
@@ -249,11 +355,27 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 			boards := make(map[boardKey]*xgene.Server)
 			for i := range jobs {
 				results[i] = runShard(cfg, i, shards[i], boards)
+				stream.complete(i, results[i].Records)
 			}
 		}()
 	}
+dispatch:
 	for i := range shards {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Workers finish their in-flight shard; everything not yet
+			// dispatched is marked skipped. Only the dispatcher writes
+			// these slots — no worker ever received their indices.
+			for j := i; j < len(shards); j++ {
+				results[j] = Result[T]{
+					Name:  shards[j].Name,
+					Index: j,
+					Err:   fmt.Errorf("campaign: shard %s skipped: %w", shards[j].Name, ctx.Err()),
+				}
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -262,7 +384,11 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 	for _, res := range results {
 		rep.Stats.add(res.Stats)
 	}
-	return rep, rep.Err()
+	err := rep.Err()
+	if err == nil {
+		err = stream.sinkErr()
+	}
+	return rep, err
 }
 
 // runShard executes one shard on the calling worker, fabricating or reusing

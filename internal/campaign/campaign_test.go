@@ -21,18 +21,43 @@ func mustProfile(t *testing.T, name string) workloads.Profile {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run[int](Config{}, nil); err == nil {
+	if _, err := Run[int](Config{Seed: 1}, nil); err == nil {
 		t.Error("empty campaign accepted")
 	}
 	ok := func(ctx *Ctx) (int, error) { return 0, nil }
-	if _, err := Run(Config{}, []Shard[int]{{Name: "", Run: ok}}); err == nil {
+	if _, err := Run(Config{Seed: 1}, []Shard[int]{{Name: "", Run: ok}}); err == nil {
 		t.Error("empty shard name accepted")
 	}
-	if _, err := Run(Config{}, []Shard[int]{{Name: "a"}}); err == nil {
+	if _, err := Run(Config{Seed: 1}, []Shard[int]{{Name: "a"}}); err == nil {
 		t.Error("nil Run accepted")
 	}
-	if _, err := Run(Config{}, []Shard[int]{{Name: "a", Run: ok}, {Name: "a", Run: ok}}); err == nil {
+	if _, err := Run(Config{Seed: 1}, []Shard[int]{{Name: "a", Run: ok}, {Name: "a", Run: ok}}); err == nil {
 		t.Error("duplicate shard names accepted")
+	}
+}
+
+// TestConfigValidate pins the zero-seed rule: Board.Seed 0 means "inherit
+// the campaign seed", so a zero campaign seed is rejected everywhere a
+// Config enters the engine.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Seed: 1}).Validate(); err != nil {
+		t.Errorf("nonzero seed rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero campaign seed accepted")
+	}
+	ok := func(ctx *Ctx) (int, error) { return 0, nil }
+	if _, err := Run(Config{}, []Shard[int]{{Name: "a", Run: ok}}); err == nil {
+		t.Error("Run accepted a zero campaign seed")
+	}
+	g := Grid{
+		Name:        "zero-seed",
+		Benches:     []workloads.Profile{mustProfile(t, "mcf")},
+		Setups:      []core.Setup{core.NominalSetup(silicon.CoreID{})},
+		Repetitions: 1,
+	}
+	if _, err := RunGrid(Config{}, g); err == nil {
+		t.Error("RunGrid accepted a zero campaign seed")
 	}
 }
 
@@ -214,6 +239,35 @@ func TestGridValidation(t *testing.T) {
 		if _, err := RunGrid(Config{Seed: 1}, g); err == nil {
 			t.Errorf("case %d: invalid grid accepted", i)
 		}
+	}
+}
+
+// TestRunGridPartialReportOnError mirrors Run's contract at the grid
+// level: a failing cell surfaces as the campaign error, but the completed
+// cells' records and bookkeeping come back with it.
+func TestRunGridPartialReportOnError(t *testing.T) {
+	nominal := core.NominalSetup(silicon.CoreID{})
+	bad := nominal
+	bad.PMDVoltage = -1 // fails setup application, producing no records
+	g := Grid{
+		Name:        "partial",
+		Benches:     []workloads.Profile{mustProfile(t, "mcf")},
+		Setups:      []core.Setup{nominal, bad},
+		Repetitions: 2,
+	}
+	rep, err := RunGrid(Config{Workers: 2, Seed: 3}, g)
+	if err == nil {
+		t.Fatal("invalid setup did not fail the grid")
+	}
+	if rep == nil {
+		t.Fatal("partial report lost on shard error")
+	}
+	if len(rep.Records) != 2 || rep.Stats.Runs != 2 {
+		t.Errorf("partial report has %d records / %d runs, want 2 (the nominal cell)",
+			len(rep.Records), rep.Stats.Runs)
+	}
+	if rep.Workers == 0 {
+		t.Error("partial report lost the resolved worker count")
 	}
 }
 

@@ -60,8 +60,14 @@ func (r *GridReport) Summaries() []core.Summary {
 // RunGrid executes a grid across the worker pool. Each (benchmark, setup)
 // cell is one shard; within a cell, repetition seeds derive from the
 // shard's seed via xrand, so no two cells (and no two repetitions) share
-// RNG state and the result is independent of worker count.
+// RNG state and the result is independent of worker count. As with Run,
+// a shard error (or cancellation) is returned alongside the report, which
+// keeps the completed cells' records and bookkeeping; only configuration
+// errors yield a nil report.
 func RunGrid(cfg Config, g Grid) (*GridReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -87,12 +93,14 @@ func RunGrid(cfg Config, g Grid) (*GridReport, error) {
 		}
 	}
 	rep, err := Run(cfg, shards)
-	if err != nil {
+	if rep == nil {
 		return nil, err
 	}
+	// Mirror Run's contract: on a shard error or cancellation the report
+	// is still returned, so partial records and bookkeeping survive.
 	out := &GridReport{Stats: rep.Stats, Workers: rep.Workers}
 	for _, cell := range rep.Results {
 		out.Records = append(out.Records, cell.Value...)
 	}
-	return out, nil
+	return out, err
 }

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// Status is a campaign's lifecycle state in the registry.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Campaign is one registry entry: a submitted spec, its lifecycle state,
+// and the record buffer that every stream subscriber replays from. The
+// buffer is append-only and retained after completion — that retention IS
+// the characterization cache: a cache-hit submission streams the buffered
+// records without touching the engine.
+type Campaign struct {
+	id          string
+	spec        Spec
+	fingerprint string
+	// extra is the server-wide broadcast (spool files, monitoring sinks);
+	// it receives every record after the buffer does.
+	extra *core.MultiSink
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	status  Status
+	errMsg  string
+	records []core.RunRecord
+	stats   campaign.Stats
+	workers int
+}
+
+func newCampaign(id string, spec Spec, fingerprint string, extra *core.MultiSink) *Campaign {
+	c := &Campaign{
+		id:          id,
+		spec:        spec,
+		fingerprint: fingerprint,
+		extra:       extra,
+		status:      StatusQueued,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Record implements core.Sink: this is the campaign engine's streaming
+// hook. The engine's ordering buffer guarantees records arrive in
+// deterministic grid order, so appending preserves byte-identity with the
+// batch report.
+func (c *Campaign) Record(rec core.RunRecord) error {
+	c.mu.Lock()
+	c.records = append(c.records, rec)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return c.extra.Record(rec)
+}
+
+var _ core.Sink = (*Campaign)(nil)
+
+// setRunning marks the campaign live.
+func (c *Campaign) setRunning() {
+	c.mu.Lock()
+	c.status = StatusRunning
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// finish records the terminal state. rep may be nil on failure; already
+// streamed records stay buffered either way.
+func (c *Campaign) finish(rep *campaign.GridReport, err error) {
+	c.mu.Lock()
+	if err != nil {
+		c.status = StatusFailed
+		c.errMsg = err.Error()
+	} else {
+		c.status = StatusDone
+	}
+	if rep != nil {
+		c.stats = rep.Stats
+		c.workers = rep.Workers
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Status returns the current lifecycle state.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status
+}
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// next blocks until records beyond i exist, the campaign reaches a
+// terminal state, or ctx is cancelled, then returns the records from i on
+// and the status seen. The returned slice is a view of the append-only
+// buffer: elements below the observed length are never rewritten, so
+// reading them after the lock is released is safe.
+func (c *Campaign) next(ctx context.Context, i int) ([]core.RunRecord, Status) {
+	// Wake the wait loop when the subscriber goes away; the request
+	// context is cancelled by net/http as soon as the handler returns or
+	// the client disconnects, so this goroutine cannot outlive the stream.
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i >= len(c.records) && !c.status.terminal() && ctx.Err() == nil {
+		c.cond.Wait()
+	}
+	return c.records[i:len(c.records):len(c.records)], c.status
+}
+
+// View is the JSON shape of a campaign's registry state.
+type View struct {
+	ID          string `json:"id"`
+	Status      Status `json:"status"`
+	Error       string `json:"error,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Spec        Spec   `json:"spec"`
+	// Records counts buffered (already streamed) records so far.
+	Records int `json:"records"`
+	// Workers is the resolved engine worker count (set once running ends).
+	Workers int `json:"workers,omitempty"`
+	// Engine bookkeeping, present once the campaign finishes.
+	Runs       int            `json:"runs,omitempty"`
+	Recoveries int            `json:"recoveries,omitempty"`
+	SimTime    string         `json:"sim_time,omitempty"`
+	Outcomes   map[string]int `json:"outcomes,omitempty"`
+}
+
+// view snapshots the campaign for the status endpoints.
+func (c *Campaign) view() View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := View{
+		ID:          c.id,
+		Status:      c.status,
+		Error:       c.errMsg,
+		Fingerprint: c.fingerprint,
+		Spec:        c.spec,
+		Records:     len(c.records),
+		Workers:     c.workers,
+		Runs:        c.stats.Runs,
+		Recoveries:  c.stats.Recoveries,
+	}
+	if c.stats.SimTime > 0 {
+		v.SimTime = c.stats.SimTime.String()
+	}
+	if len(c.stats.Outcomes) > 0 {
+		v.Outcomes = make(map[string]int, len(c.stats.Outcomes))
+		for o, n := range c.stats.Outcomes {
+			v.Outcomes[o.String()] = n
+		}
+	}
+	return v
+}

@@ -1,0 +1,359 @@
+// Package serve is the campaign service layer: a long-lived daemon wrapped
+// around the fleet campaign engine. It accepts characterization grid
+// submissions over HTTP/JSON, schedules them on a bounded run queue,
+// streams every run record live to any number of subscribers (NDJSON or
+// SSE), and answers repeated submissions from an in-memory
+// characterization cache keyed by the spec's deterministic fingerprint —
+// the paper's multi-day campaigns become a shared service instead of a
+// batch job.
+//
+// Determinism is the load-bearing invariant, inherited from the engine:
+// the stream a subscriber sees is byte-identical to the serial driver's
+// batch report for the same spec, at any worker count, whether the records
+// come live from the engine or replayed from the cache.
+//
+// API:
+//
+//	POST /campaigns            submit a Spec; 202 {id, fingerprint, cached,
+//	                           status, stream} (200 when served from cache,
+//	                           503 when the run queue is full)
+//	GET  /campaigns            list every campaign's state
+//	GET  /campaigns/{id}       one campaign's state
+//	GET  /campaigns/{id}/stream
+//	                           live NDJSON record stream (SSE with
+//	                           Accept: text/event-stream); replays buffered
+//	                           records first, then follows the campaign
+//	GET  /stats                service counters (submissions, cache hits,
+//	                           grids run, queue depth, statuses)
+//	GET  /healthz              liveness probe
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// Options parameterizes a Server.
+type Options struct {
+	// QueueDepth bounds how many campaigns may wait behind the running
+	// ones; submissions beyond the bound are rejected with 503 rather than
+	// queued without limit. Zero means 16.
+	QueueDepth int
+	// Concurrency is how many campaigns execute at once. Each campaign
+	// already parallelizes internally (Spec.Workers), so the default of 1
+	// keeps one grid's workers from fighting another's.
+	Concurrency int
+}
+
+// Server is the campaign service: registry, scheduler, cache and HTTP
+// surface. Create with New, serve with any http.Server, stop with Close.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	spool *core.MultiSink
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Campaign
+	wg     sync.WaitGroup
+
+	mu          sync.Mutex
+	byID        map[string]*Campaign
+	byFP        map[string]*Campaign
+	order       []*Campaign
+	nextID      int
+	submissions int
+	cacheHits   int
+	gridsRun    int
+
+	// gate, when set (tests only), blocks execute until the channel is
+	// closed, making queue-bound behavior deterministic to observe.
+	gate chan struct{}
+}
+
+// New builds a Server and starts its scheduler workers.
+func New(opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	s := &Server{
+		opts:  opts,
+		spool: core.NewMultiSink(),
+		queue: make(chan *Campaign, opts.QueueDepth),
+		byID:  make(map[string]*Campaign),
+		byFP:  make(map[string]*Campaign),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
+
+	for i := 0; i < opts.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.scheduler()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every running campaign (their engines observe the context
+// between shards) and stops the scheduler workers. Queued campaigns stay
+// queued; streams of cancelled campaigns terminate with status failed.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// AttachSink subscribes a sink to every record of every campaign (the
+// daemon's spool/monitoring channel, Fig. 2's cloud log). Records arrive
+// in deterministic order within a campaign; campaigns running concurrently
+// (Concurrency > 1) interleave.
+func (s *Server) AttachSink(sink core.Sink) { s.spool.Subscribe(sink) }
+
+// scheduler drains the run queue until the server closes.
+func (s *Server) scheduler() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case c := <-s.queue:
+			s.execute(c)
+		}
+	}
+}
+
+// execute runs one campaign through the engine, streaming into the
+// campaign's record buffer.
+func (s *Server) execute(c *Campaign) {
+	c.setRunning()
+	if s.gate != nil {
+		<-s.gate
+	}
+	grid, err := c.spec.Grid()
+	if err != nil {
+		c.finish(nil, err)
+		return
+	}
+	s.mu.Lock()
+	s.gridsRun++
+	s.mu.Unlock()
+	rep, err := campaign.RunGrid(campaign.Config{
+		Workers: c.spec.Workers,
+		Seed:    c.spec.Seed,
+		Sink:    c,
+		Context: s.ctx,
+	}, grid)
+	c.finish(rep, err)
+}
+
+// errQueueFull distinguishes backpressure from bad submissions.
+var errQueueFull = errors.New("serve: run queue full")
+
+// Submit registers a spec and enqueues it, or returns the cached campaign
+// for an already-known fingerprint. cached is true when no new grid run
+// was scheduled. A previously failed campaign does not satisfy its
+// fingerprint: resubmitting replaces it with a fresh attempt.
+func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	fp := spec.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submissions++
+	if prev := s.byFP[fp]; prev != nil && prev.Status() != StatusFailed {
+		s.cacheHits++
+		return prev, true, nil
+	}
+	c = newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, fp, s.spool)
+	// Enqueue and register under one critical section: a rejected
+	// submission leaves no trace, and a registered campaign is always
+	// queued. The send is non-blocking, so holding the lock is safe.
+	select {
+	case s.queue <- c:
+	default:
+		return nil, false, errQueueFull
+	}
+	s.nextID++
+	s.byID[c.id] = c
+	s.byFP[fp] = c
+	s.order = append(s.order, c)
+	return c, false, nil
+}
+
+// lookup finds a campaign by id.
+func (s *Server) lookup(id string) *Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// submitResponse is the POST /campaigns reply.
+type submitResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Status      Status `json:"status"`
+	Cached      bool   `json:"cached"`
+	Stream      string `json:"stream"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode spec: %w", err))
+		return
+	}
+	c, cached, err := s.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{
+		ID:          c.id,
+		Fingerprint: c.fingerprint,
+		Status:      c.Status(),
+		Cached:      cached,
+		Stream:      "/campaigns/" + c.id + "/stream",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	campaigns := append([]*Campaign(nil), s.order...)
+	s.mu.Unlock()
+	views := make([]View, 0, len(campaigns))
+	for _, c := range campaigns {
+		views = append(views, c.view())
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(r.PathValue("id"))
+	if c == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.view())
+}
+
+// handleStream tails a campaign: buffered records first (cache replay),
+// then live records as the engine's ordering buffer releases them. NDJSON
+// by default — byte-identical to the batch report's JSONL — or SSE when
+// the client asks for text/event-stream.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(r.PathValue("id"))
+	if c == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	i := 0
+	for {
+		recs, status := c.next(r.Context(), i)
+		if r.Context().Err() != nil {
+			return // client went away
+		}
+		for _, rec := range recs {
+			if sse {
+				data, err := json.Marshal(rec)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+					return
+				}
+			} else if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+		i += len(recs)
+		if flusher != nil && len(recs) > 0 {
+			flusher.Flush()
+		}
+		if status.terminal() {
+			if sse {
+				fmt.Fprintf(w, "event: done\ndata: {\"status\":%q}\n\n", status)
+			}
+			return
+		}
+	}
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Submissions int            `json:"submissions"`
+	CacheHits   int            `json:"cache_hits"`
+	GridsRun    int            `json:"grids_run"`
+	Queued      int            `json:"queue_len"`
+	QueueDepth  int            `json:"queue_depth"`
+	Statuses    map[Status]int `json:"statuses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := statsResponse{
+		Submissions: s.submissions,
+		CacheHits:   s.cacheHits,
+		GridsRun:    s.gridsRun,
+		Queued:      len(s.queue),
+		QueueDepth:  s.opts.QueueDepth,
+		Statuses:    make(map[Status]int),
+	}
+	campaigns := append([]*Campaign(nil), s.order...)
+	s.mu.Unlock()
+	for _, c := range campaigns {
+		resp.Statuses[c.Status()]++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

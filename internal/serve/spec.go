@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/silicon"
+	"repro/internal/workloads"
+	"repro/internal/xgene"
+)
+
+// Spec is the wire form of a characterization grid submission: which board
+// to fabricate, which cells to run, and how hard to parallelize. It maps
+// one-to-one onto campaign.Grid + campaign.Config, so anything the daemon
+// measures can be reproduced offline with the same spec.
+//
+// Validation here is about shape (names resolve, the grid is non-empty);
+// physical validity of the resulting setups is the framework's job at run
+// time, so a submission with, say, a non-positive voltage is accepted,
+// scheduled, and fails as a campaign — the same way a bad setup fails on
+// the bench.
+type Spec struct {
+	// Name labels the grid. It prefixes shard names and therefore keys the
+	// derived run seeds: two specs that differ only in Name are distinct
+	// characterizations. Defaults to "grid".
+	Name string `json:"name,omitempty"`
+	// Corner picks the chip's process corner: TTT (default), TFF or TSS.
+	Corner string `json:"corner,omitempty"`
+	// BoardSeed overrides the board fabrication seed; zero means "the
+	// campaign seed", as everywhere in the campaign engine.
+	BoardSeed uint64 `json:"board_seed,omitempty"`
+	// Seed is the campaign seed. Required nonzero (campaign.Config.Validate).
+	Seed uint64 `json:"seed"`
+	// Core places the benchmark: "robust" (default), "weakest", or an
+	// explicit "pmdP.cC" id. Resolved against the spec's board, which is a
+	// pure function of (corner, board seed), so the placement is as
+	// deterministic as everything else in the fingerprint.
+	Core string `json:"core,omitempty"`
+	// Benches are workload profile names (see internal/workloads).
+	Benches []string `json:"benches"`
+	// VoltagesMV spans the setup axis: one nominal-clock setup per PMD
+	// voltage, in millivolts.
+	VoltagesMV []float64 `json:"voltages_mv"`
+	// TREFPMillis overrides the DRAM refresh period (milliseconds); zero
+	// means the nominal 64 ms.
+	TREFPMillis float64 `json:"trefp_ms,omitempty"`
+	// Repetitions per grid cell (the paper runs ten).
+	Repetitions int `json:"repetitions"`
+	// Workers is the campaign worker count (0 = one per CPU). Excluded
+	// from the fingerprint: the engine's determinism contract guarantees
+	// the worker count never changes results, so two submissions differing
+	// only in Workers are the same characterization.
+	Workers int `json:"workers,omitempty"`
+}
+
+// withDefaults fills the documented defaults.
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "grid"
+	}
+	if s.Corner == "" {
+		s.Corner = silicon.TTT.String()
+	}
+	if s.Core == "" {
+		s.Core = "robust"
+	}
+	return s
+}
+
+// corner resolves the Corner field.
+func (s Spec) corner() (silicon.Corner, error) {
+	for _, c := range silicon.Corners() {
+		if c.String() == s.Corner {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown corner %q (TTT, TFF or TSS)", s.Corner)
+}
+
+// Validate reports shape errors in the spec. Call on the defaulted spec;
+// the Server defaults-then-validates every submission.
+func (s Spec) Validate() error {
+	if err := (campaign.Config{Seed: s.Seed}).Validate(); err != nil {
+		return err
+	}
+	if _, err := s.corner(); err != nil {
+		return err
+	}
+	if len(s.Benches) == 0 {
+		return errors.New("serve: spec needs at least one benchmark")
+	}
+	for _, name := range s.Benches {
+		if _, err := workloads.ByName(name); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if len(s.VoltagesMV) == 0 {
+		return errors.New("serve: spec needs at least one voltage")
+	}
+	if s.Repetitions <= 0 {
+		return errors.New("serve: repetitions must be positive")
+	}
+	if s.TREFPMillis < 0 {
+		return errors.New("serve: negative TREFP")
+	}
+	switch s.Core {
+	case "robust", "weakest":
+	default:
+		var p, c int
+		// Sscanf ignores trailing text, so round-trip the parse to reject
+		// selectors like "pmd1.c2,junk" outright.
+		n, err := fmt.Sscanf(s.Core, "pmd%d.c%d", &p, &c)
+		if n != 2 || err != nil || fmt.Sprintf("pmd%d.c%d", p, c) != s.Core {
+			return fmt.Errorf("serve: bad core selector %q (robust, weakest or pmdP.cC)", s.Core)
+		}
+		if !(silicon.CoreID{PMD: p, Core: c}).Valid() {
+			return fmt.Errorf("serve: core %s out of range", s.Core)
+		}
+	}
+	return nil
+}
+
+// Fingerprint is the characterization cache key: a stable hash of every
+// spec field that can change results — name, corner, board seed, campaign
+// seed, core placement, refresh period, benches, voltages, repetitions.
+// Workers is deliberately excluded (see the field doc): the cache treats
+// any worker count as the same campaign.
+func (s Spec) Fingerprint() string {
+	s = s.withDefaults()
+	// BoardSeed 0 means "the campaign seed" (resolved in Grid), so the
+	// explicit and implicit spellings of the same board hash identically.
+	if s.BoardSeed == 0 {
+		s.BoardSeed = s.Seed
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%s\x00%g\x00%d\x00",
+		s.Name, s.Corner, s.BoardSeed, s.Seed, s.Core, s.TREFPMillis, s.Repetitions)
+	for _, b := range s.Benches {
+		fmt.Fprintf(h, "b:%s\x00", b)
+	}
+	for _, v := range s.VoltagesMV {
+		fmt.Fprintf(h, "v:%g\x00", v)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Grid materializes the spec into the campaign engine's grid form,
+// applying defaults first. The daemon runs exactly this grid; offline
+// reproduction is campaign.RunGrid(campaign.Config{Seed: spec.Seed},
+// grid) with any worker count.
+func (s Spec) Grid() (campaign.Grid, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return campaign.Grid{}, err
+	}
+	corner, err := s.corner()
+	if err != nil {
+		return campaign.Grid{}, err
+	}
+
+	benches := make([]workloads.Profile, 0, len(s.Benches))
+	for _, name := range s.Benches {
+		p, err := workloads.ByName(name)
+		if err != nil {
+			return campaign.Grid{}, fmt.Errorf("serve: %w", err)
+		}
+		benches = append(benches, p)
+	}
+
+	// Resolve the core on a probe board: fabrication is a pure function of
+	// (corner, seed), so the id resolved here is the id every shard sees.
+	boardSeed := s.BoardSeed
+	if boardSeed == 0 {
+		boardSeed = s.Seed
+	}
+	probe, err := xgene.NewServer(xgene.Options{Corner: corner, Seed: boardSeed})
+	if err != nil {
+		return campaign.Grid{}, fmt.Errorf("serve: probe board: %w", err)
+	}
+	var coreID silicon.CoreID
+	switch s.Core {
+	case "robust":
+		coreID = probe.Chip().MostRobustCore()
+	case "weakest":
+		coreID = probe.Chip().WeakestCore()
+	default:
+		fmt.Sscanf(s.Core, "pmd%d.c%d", &coreID.PMD, &coreID.Core)
+	}
+
+	setups := make([]core.Setup, 0, len(s.VoltagesMV))
+	for _, mv := range s.VoltagesMV {
+		setup := core.NominalSetup(coreID)
+		setup.PMDVoltage = mv / 1000
+		if s.TREFPMillis > 0 {
+			setup.TREFP = time.Duration(s.TREFPMillis * float64(time.Millisecond))
+		}
+		setups = append(setups, setup)
+	}
+
+	return campaign.Grid{
+		Name:        s.Name,
+		Board:       campaign.Board{Corner: corner, Seed: s.BoardSeed},
+		Benches:     benches,
+		Setups:      setups,
+		Repetitions: s.Repetitions,
+	}, nil
+}
