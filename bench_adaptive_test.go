@@ -1,0 +1,89 @@
+package guardband
+
+// Runs-to-Vmin benchmarks for the adaptive grid scheduler: the paper's
+// full-resolution exhaustive descent versus the coarse-to-fine scheduler on
+// the same (board, benchmark, seed) searches. Both reach the same SafeVmin
+// (pinned by the golden tests in internal/campaign); the difference is the
+// executed run count and therefore wall-clock and simulated board time.
+// BENCH_adaptive.json records a measured snapshot.
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// adaptiveBenchSchedule is the measured workload: four SPEC profiles on the
+// TTT chip's most robust core, paper parameters (10 reps/level, 5 mV final
+// resolution, 40 mV coarse stride).
+func adaptiveBenchSchedule(b *testing.B) campaign.Schedule {
+	b.Helper()
+	srv, err := NewServer(0, DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return campaign.DefaultSchedule("bench-adaptive", workloads.SPEC2006()[:4],
+		core.NominalSetup(srv.Chip().MostRobustCore()))
+}
+
+// BenchmarkVminSchedulers compares the two strategies run for run.
+// Sub-benchmarks: "exhaustive" (core.VminSearch per benchmark at 5 mV, via
+// the engine's grid of searches) and "adaptive" (campaign.RunSchedule).
+// Each reports runs/op — the characterization cost the scheduler is built
+// to cut — alongside ns/op.
+func BenchmarkVminSchedulers(b *testing.B) {
+	sched := adaptiveBenchSchedule(b)
+
+	b.Run("exhaustive", func(b *testing.B) {
+		runs, simSecs := 0, 0.0
+		for i := 0; i < b.N; i++ {
+			// The exhaustive reference: same shards, same per-board search
+			// seeds, but a full uniform descent per benchmark. Mirrors what
+			// the adaptive report's Planned column claims.
+			var shards []campaign.Shard[core.VminResult]
+			for bi, bench := range sched.Benches {
+				bench := bench
+				shards = append(shards, campaign.Shard[core.VminResult]{
+					Name:  sched.Name + "/exh/" + bench.Name,
+					Board: sched.Board,
+					Run: func(ctx *campaign.Ctx) (core.VminResult, error) {
+						return ctx.Framework.VminSearch(core.VminConfig{
+							Benchmark:   sched.Benches[bi],
+							Setup:       sched.Setup,
+							FloorV:      sched.FloorV,
+							StepV:       sched.ResolutionV,
+							Repetitions: sched.Repetitions,
+							Seed:        ctx.Seed,
+						})
+					},
+				})
+			}
+			rep, err := campaign.Run(campaign.Config{Seed: DefaultSeed}, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs += rep.Stats.Runs
+			simSecs += rep.Stats.SimTime.Seconds()
+		}
+		b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+		b.ReportMetric(simSecs/float64(b.N), "simsec/op")
+	})
+
+	b.Run("adaptive", func(b *testing.B) {
+		runs, planned, simSecs := 0, 0, 0.0
+		for i := 0; i < b.N; i++ {
+			rep, err := campaign.RunSchedule(campaign.Config{Seed: DefaultSeed}, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs += rep.Stats.Runs
+			planned += rep.Stats.Planned
+			simSecs += rep.Stats.SimTime.Seconds()
+		}
+		b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+		b.ReportMetric(float64(planned)/float64(b.N), "planned/op")
+		b.ReportMetric(simSecs/float64(b.N), "simsec/op")
+	})
+}

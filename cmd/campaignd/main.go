@@ -7,6 +7,7 @@
 // Usage:
 //
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
+//	          [-cache-max N]
 //
 // The daemon prints the bound address on startup (use -addr 127.0.0.1:0
 // to pick a free port) and shuts down gracefully on SIGINT/SIGTERM:
@@ -56,6 +57,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	queue := fs.Int("queue", 16, "run queue depth: campaigns waiting beyond the running ones")
 	concurrency := fs.Int("concurrency", 1, "campaigns executing at once")
 	spool := fs.String("spool", "", "append every run record to this JSONL spool file")
+	cacheMax := fs.Int("cache-max", 256, "characterization cache bound: finished campaigns retained before LRU eviction")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -63,7 +65,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		return err
 	}
 
-	srv := serve.New(serve.Options{QueueDepth: *queue, Concurrency: *concurrency})
+	srv := serve.New(serve.Options{QueueDepth: *queue, Concurrency: *concurrency, CacheMax: *cacheMax})
 	defer srv.Close()
 
 	if *spool != "" {

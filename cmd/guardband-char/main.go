@@ -6,11 +6,20 @@
 // the fleet campaign engine; -workers sets the fleet size without changing
 // any measurement.
 //
+// Two schedulers are available. The default exhaustive descent visits every
+// -resolution step from nominal down to the first disruption. -adaptive
+// switches to the coarse-to-fine scheduler: a -coarse stride brackets the
+// failure transition, then bisection densifies to -resolution — the same
+// SafeVmin for a fraction of the runs (the saved column reports the
+// ratio). -boards batches a fleet of distinct-seed boards per benchmark,
+// exposing chip-to-chip Vmin variation in one campaign.
+//
 // Usage:
 //
 //	guardband-char [-chip TTT|TFF|TSS] [-bench name,name|all]
 //	               [-core robust|weakest|pmdP.cC] [-reps N] [-seed N]
-//	               [-workers N] [-csv file]
+//	               [-workers N] [-csv file] [-adaptive] [-boards N]
+//	               [-coarse mV] [-resolution mV] [-budget N]
 package main
 
 import (
@@ -46,11 +55,28 @@ func run(w io.Writer, args []string) error {
 	seed := fs.Uint64("seed", guardband.DefaultSeed, "board seed")
 	workers := fs.Int("workers", guardband.DefaultWorkers, "campaign engine workers (0 = one per CPU)")
 	csvPath := fs.String("csv", "", "write per-run records to this CSV file")
+	adaptive := fs.Bool("adaptive", false, "coarse-to-fine scheduler: bracket the failure transition, then bisect")
+	boards := fs.Int("boards", 1, "fleet size: distinct-seed boards characterized per benchmark")
+	coarse := fs.Float64("coarse", 40, "adaptive coarse-pass stride (mV)")
+	resolution := fs.Float64("resolution", 5, "final Vmin resolution (mV)")
+	budget := fs.Int("budget", 0, "adaptive run budget per (benchmark, board); 0 = unbounded")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	if *boards < 1 {
+		return fmt.Errorf("-boards must be at least 1")
+	}
+	// Mirror the service layer: adaptive-only knobs on an exhaustive run
+	// would be silently dead weight, so reject them outright.
+	if !*adaptive {
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["coarse"] || set["budget"] {
+			return fmt.Errorf("-coarse and -budget are adaptive-only (add -adaptive)")
+		}
 	}
 
 	var corner silicon.Corner
@@ -66,7 +92,7 @@ func run(w io.Writer, args []string) error {
 	}
 
 	// Resolve the core on a probe board; every shard fabricates the same
-	// (corner, seed) board, so the resolved ID is valid fleet-wide.
+	// (corner, seed) board 0, so the resolved ID is valid fleet-wide.
 	probe, err := guardband.NewServer(corner, *seed)
 	if err != nil {
 		return err
@@ -89,51 +115,134 @@ func run(w io.Writer, args []string) error {
 		}
 	}
 
-	var shards []campaign.Shard[core.VminResult]
-	for i, bench := range benches {
-		shards = append(shards, campaign.Shard[core.VminResult]{
-			// The index keeps shard names unique when -bench repeats a
-			// benchmark (repeats are a legitimate repeatability check).
-			Name:  fmt.Sprintf("guardband-char/%d/%s", i, bench.Name),
-			Board: campaign.Board{Corner: corner},
-			Run: func(ctx *campaign.Ctx) (core.VminResult, error) {
-				cfg := core.DefaultVminConfig(bench, core.NominalSetup(coreID))
-				cfg.Repetitions = *reps
-				cfg.Seed = *seed
-				return ctx.Framework.VminSearch(cfg)
+	// Both schedulers characterize the same searches: the schedule's
+	// per-(benchmark, board) derived seeds drive core.VminRunSeed in
+	// either mode, so a plain and an -adaptive invocation with the same
+	// flags are answer-comparable run for run.
+	sched := campaign.Schedule{
+		Name:        "guardband-char",
+		Board:       campaign.Board{Corner: corner},
+		Boards:      *boards,
+		Benches:     benches,
+		Setup:       core.NominalSetup(coreID),
+		FloorV:      0.70,
+		CoarseStepV: *coarse / 1000,
+		ResolutionV: *resolution / 1000,
+		Repetitions: *reps,
+		MaxRuns:     *budget,
+	}
+	if *adaptive {
+		return runAdaptive(w, corner, coreID, sched, *seed, *workers, *csvPath)
+	}
+	return runExhaustive(w, corner, coreID, sched, *seed, *workers, *csvPath)
+}
+
+// runExhaustive is the paper's uniform descent at the schedule's final
+// resolution, sharded per benchmark; with -boards > 1 every shard repeats
+// the search across its fleet.
+func runExhaustive(w io.Writer, corner silicon.Corner, coreID silicon.CoreID,
+	sched campaign.Schedule, seed uint64, workers int, csvPath string) error {
+	type boardVmin struct {
+		Board int
+		Res   core.VminResult
+	}
+	boards := sched.Boards
+	var shards []campaign.Shard[[]boardVmin]
+	for i, bench := range sched.Benches {
+		// The index keeps shard names unique when -bench repeats a
+		// benchmark (repeats are a legitimate repeatability check).
+		i, bench := i, bench
+		shards = append(shards, campaign.Shard[[]boardVmin]{
+			Name:   fmt.Sprintf("guardband-char/exh/%d/%s", i, bench.Name),
+			Board:  sched.Board,
+			Boards: boards,
+			Run: func(ctx *campaign.Ctx) ([]boardVmin, error) {
+				out := make([]boardVmin, 0, boards)
+				for b := 0; b < boards; b++ {
+					_, fw, err := ctx.FleetBoard(b)
+					if err != nil {
+						return out, err
+					}
+					res, err := fw.VminSearch(core.VminConfig{
+						Benchmark:   bench,
+						Setup:       sched.Setup,
+						FloorV:      sched.FloorV,
+						StepV:       sched.ResolutionV,
+						Repetitions: sched.Repetitions,
+						Seed:        sched.SearchSeed(ctx.CampaignSeed, i, b),
+					})
+					if err != nil {
+						return out, err
+					}
+					out = append(out, boardVmin{Board: b, Res: res})
+				}
+				return out, nil
 			},
 		})
 	}
-	rep, err := campaign.Run(campaign.Config{Workers: *workers, Seed: *seed}, shards)
+	rep, err := campaign.Run(campaign.Config{Workers: workers, Seed: seed}, shards)
 	if err != nil {
 		return err
 	}
 
 	summary := report.NewTable(
-		fmt.Sprintf("Safe Vmin on %s chip, core %v, %d reps/step", corner, coreID, *reps),
-		"benchmark", "safe Vmin", "first fail", "guardband", "failure modes")
-	for _, res := range rep.Values() {
-		modes := make([]string, 0, len(res.FailureOutcomes))
-		for o, n := range res.FailureOutcomes {
-			modes = append(modes, fmt.Sprintf("%s x%d", o, n))
+		fmt.Sprintf("Safe Vmin on %s chip, core %v, %d reps/step, %d board(s)", corner, coreID, sched.Repetitions, boards),
+		"benchmark", "board", "safe Vmin", "first fail", "guardband", "failure modes")
+	for _, cell := range rep.Values() {
+		for _, bv := range cell {
+			modes := make([]string, 0, len(bv.Res.FailureOutcomes))
+			for o, n := range bv.Res.FailureOutcomes {
+				modes = append(modes, fmt.Sprintf("%s x%d", o, n))
+			}
+			summary.AddRowf(bv.Res.Benchmark,
+				strconv.Itoa(bv.Board),
+				report.MV(bv.Res.SafeVminV),
+				report.MV(bv.Res.FirstFailV),
+				report.MV(bv.Res.GuardbandV),
+				strings.Join(modes, " "))
 		}
-		summary.AddRowf(res.Benchmark,
-			report.MV(res.SafeVminV),
-			report.MV(res.FirstFailV),
-			report.MV(res.GuardbandV),
-			strings.Join(modes, " "))
 	}
 	fmt.Fprintln(w, summary)
 	fmt.Fprintf(w, "campaign simulated time: %v, runs: %d, recoveries: %d, workers: %d\n",
 		rep.Stats.SimTime, rep.Stats.Runs, rep.Stats.Recoveries, rep.Workers)
+	return writeCSVIfAsked(w, csvPath, rep.Records())
+}
 
-	if *csvPath != "" {
-		if err := writeCSV(*csvPath, rep.Records()); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "per-run records written to %s\n", *csvPath)
+// runAdaptive runs the coarse-to-fine scheduler and reports per-board
+// savings against the exhaustive plan.
+func runAdaptive(w io.Writer, corner silicon.Corner, coreID silicon.CoreID,
+	sched campaign.Schedule, seed uint64, workers int, csvPath string) error {
+	rep, err := campaign.RunSchedule(campaign.Config{Workers: workers, Seed: seed}, sched)
+	if err != nil {
+		return err
 	}
-	return nil
+
+	summary := report.NewTable(
+		fmt.Sprintf("Adaptive safe Vmin on %s chip, core %v, %d reps/level, %d board(s)",
+			corner, coreID, sched.Repetitions, sched.Boards),
+		"benchmark", "board", "safe Vmin", "first fail", "guardband", "runs", "planned", "saved")
+	for _, res := range rep.Results {
+		saved := "-"
+		if res.Planned > 0 {
+			saved = fmt.Sprintf("%.0f%%", 100*float64(res.Planned-res.Runs)/float64(res.Planned))
+		}
+		if !res.Converged {
+			saved += " (budget hit)"
+		}
+		summary.AddRowf(res.Benchmark,
+			strconv.Itoa(res.Board),
+			report.MV(res.SafeVminV),
+			report.MV(res.FirstFailV),
+			report.MV(res.GuardbandV),
+			strconv.Itoa(res.Runs),
+			strconv.Itoa(res.Planned),
+			saved)
+	}
+	fmt.Fprintln(w, summary)
+	fmt.Fprintf(w, "campaign simulated time: %v, runs: %d of %d planned (%d skipped), recoveries: %d, workers: %d\n",
+		rep.Stats.SimTime, rep.Stats.Runs, rep.Stats.Planned, rep.Stats.Skipped(),
+		rep.Stats.Recoveries, rep.Workers)
+	return writeCSVIfAsked(w, csvPath, rep.Records)
 }
 
 // pickCore resolves the -core flag.
@@ -156,8 +265,11 @@ func pickCore(srv *guardband.Server, sel string) (silicon.CoreID, error) {
 	return silicon.CoreID{}, fmt.Errorf("bad core selector %q (robust, weakest or pmdP.cC)", sel)
 }
 
-// writeCSV dumps the campaign's run records.
-func writeCSV(path string, records []core.RunRecord) error {
+// writeCSVIfAsked dumps the campaign's run records when -csv was given.
+func writeCSVIfAsked(w io.Writer, path string, records []core.RunRecord) error {
+	if path == "" {
+		return nil
+	}
 	t := report.NewTable("", "benchmark", "voltage_mv", "repetition", "outcome",
 		"droop_mv", "dram_ce", "dram_ue", "dram_sdc", "recovered", "sim_time")
 	for _, r := range records {
@@ -180,5 +292,9 @@ func writeCSV(path string, records []core.RunRecord) error {
 	if err := t.WriteCSV(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "per-run records written to %s\n", path)
+	return nil
 }

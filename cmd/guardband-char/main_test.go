@@ -30,6 +30,24 @@ func TestRunSmallCampaign(t *testing.T) {
 	}
 }
 
+// TestRunAdaptiveFleet smokes the adaptive scheduler path with a
+// multi-board fleet: the summary must carry per-board rows and the
+// planned-vs-executed accounting must show savings.
+func TestRunAdaptiveFleet(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{
+		"-adaptive", "-bench", "mcf,namd", "-reps", "2", "-boards", "2", "-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Adaptive safe Vmin", "mcf", "namd", "planned", "skipped", "workers: 2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunSelectorsRejected(t *testing.T) {
 	var out strings.Builder
 	if err := run(&out, []string{"-chip", "XYZ"}); err == nil {
@@ -40,5 +58,14 @@ func TestRunSelectorsRejected(t *testing.T) {
 	}
 	if err := run(&out, []string{"-bench", "not-a-benchmark"}); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+	if err := run(&out, []string{"-bench", "mcf", "-coarse", "20"}); err == nil {
+		t.Error("adaptive-only -coarse accepted without -adaptive")
+	}
+	if err := run(&out, []string{"-bench", "mcf", "-budget", "5"}); err == nil {
+		t.Error("adaptive-only -budget accepted without -adaptive")
+	}
+	if err := run(&out, []string{"-bench", "mcf", "-boards", "0"}); err == nil {
+		t.Error("zero -boards accepted")
 	}
 }

@@ -126,12 +126,73 @@ type Ctx struct {
 	CampaignSeed uint64
 	// Seed is the shard's derived seed (ShardSeed(CampaignSeed, Name)).
 	Seed uint64
-	// Server is the shard's simulated board.
+	// Server is the shard's simulated board (board 0 of the fleet).
 	Server *xgene.Server
 	// Framework is a fresh characterization framework over Server; its
 	// records and simulated clock feed the shard's bookkeeping.
 	Framework *core.Framework
+	// Boards is the shard's fleet size (Shard.Boards normalized to >= 1).
+	// Server/Framework are board 0; the rest come from FleetBoard.
+	Boards int
+
+	board    Board
+	baseSeed uint64
+	cache    map[boardKey]*xgene.Server
+	fleetSrv []*xgene.Server
+	fleetFW  []*core.Framework
+	planned  int
 }
+
+// FleetBoard returns the i-th board of the shard's fleet and its framework,
+// fabricating it on first use. Board 0 is the shard's Server/Framework;
+// boards above 0 are distinct chips of the same corner, fabricated from
+// FleetBoardSeed-derived seeds and reused through the worker's board cache
+// (unless the shard asked for Fresh boards). Frameworks are per-shard: the
+// records a fleet board accumulates here feed this shard's Result only.
+func (c *Ctx) FleetBoard(i int) (*xgene.Server, *core.Framework, error) {
+	// Errors carry the board context only; the shard prefix is applied
+	// once by the engine when the error surfaces from Shard.Run.
+	if i < 0 || i >= c.Boards {
+		return nil, nil, fmt.Errorf("fleet board %d out of range [0,%d)", i, c.Boards)
+	}
+	if c.fleetFW[i] != nil {
+		return c.fleetSrv[i], c.fleetFW[i], nil
+	}
+	seed := FleetBoardSeed(c.baseSeed, i)
+	corner := c.board.Corner
+	if corner == 0 {
+		corner = silicon.TTT
+	}
+	var srv *xgene.Server
+	key := boardKey{corner: corner, seed: seed}
+	if !c.board.Fresh {
+		srv = c.cache[key]
+	}
+	if srv == nil {
+		var err error
+		srv, err = xgene.NewServer(xgene.Options{Corner: corner, Seed: seed})
+		if err != nil {
+			return nil, nil, fmt.Errorf("fab fleet board %d: %w", i, err)
+		}
+		if !c.board.Fresh && c.cache != nil {
+			c.cache[key] = srv
+		}
+	}
+	fw, err := core.NewFramework(srv)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet board %d: %w", i, err)
+	}
+	c.fleetSrv[i] = srv
+	c.fleetFW[i] = fw
+	return srv, fw, nil
+}
+
+// AddPlanned records grid points the shard accounted for but did not
+// execute-sweep exhaustively: schedulers that skip runs (the adaptive Vmin
+// scheduler) report the uniform-grid run count here so Stats can separate
+// planned from executed work. Shards that run everything they plan need not
+// call it — Planned then defaults to the executed run count.
+func (c *Ctx) AddPlanned(n int) { c.planned += n }
 
 // Shard is one independent unit of campaign work.
 type Shard[T any] struct {
@@ -140,28 +201,63 @@ type Shard[T any] struct {
 	Name string
 	// Board selects the simulated server.
 	Board Board
+	// Boards, when above 1, gives the shard a fleet of distinct-seed boards
+	// of the same corner: board 0 keeps Board.Seed's population (so a
+	// one-board fleet is exactly the classic shard) and boards 1..N-1
+	// fabricate chips from FleetBoardSeed-derived seeds. The shard reaches
+	// them through Ctx.FleetBoard; their records concatenate into the
+	// shard's Result in board order.
+	Boards int
 	// Run executes the shard.
 	Run func(ctx *Ctx) (T, error)
+}
+
+// FleetBoardSeed derives the fabrication seed of fleet board i from the
+// shard's resolved board seed. Board 0 inherits the base seed unchanged, so
+// fleets of one are byte-compatible with plain shards; higher indices split
+// an xrand stream, making every board of the fleet a distinct chip while
+// remaining a pure function of (base seed, index) — independent of workers
+// and of sibling shards.
+func FleetBoardSeed(baseSeed uint64, i int) uint64 {
+	if i == 0 {
+		return baseSeed
+	}
+	return xrand.New(baseSeed).Split(fmt.Sprintf("campaign/fleet/%d", i)).Uint64()
 }
 
 // Stats is campaign bookkeeping, per shard and aggregated.
 type Stats struct {
 	// Shards counts completed shards (1 for per-shard stats).
 	Shards int
-	// Runs counts framework runs.
+	// Runs counts framework runs actually executed.
 	Runs int
+	// Planned counts the runs an exhaustive sweep of the same work would
+	// have scheduled. For plain shards Planned == Runs; adaptive schedulers
+	// report the uniform-grid budget through Ctx.AddPlanned, so
+	// Planned - Runs (Skipped) is the work the scheduler avoided. Skipped
+	// grid points executed no run, so they contribute nothing to Outcomes —
+	// in particular they are not failures. Skipped can be negative: when
+	// the failure transition sits immediately under the start voltage the
+	// refinement's partial-failure levels can cost more than the plain
+	// descent, and the accounting reports that honestly.
+	Planned int
 	// Recoveries counts runs that required watchdog reset / reboot.
 	Recoveries int
 	// SimTime is the total simulated board time consumed.
 	SimTime time.Duration
-	// Outcomes counts run outcomes.
+	// Outcomes counts run outcomes. Counts sum to Runs, never to Planned.
 	Outcomes map[xgene.Outcome]int
 }
+
+// Skipped is the planned-but-not-executed run count (zero for exhaustive
+// campaigns).
+func (s Stats) Skipped() int { return s.Planned - s.Runs }
 
 // add folds s2 into s.
 func (s *Stats) add(s2 Stats) {
 	s.Shards += s2.Shards
 	s.Runs += s2.Runs
+	s.Planned += s2.Planned
 	s.Recoveries += s2.Recoveries
 	s.SimTime += s2.SimTime
 	for o, n := range s2.Outcomes {
@@ -172,9 +268,15 @@ func (s *Stats) add(s2 Stats) {
 	}
 }
 
-// statsOf summarizes one shard's framework records.
-func statsOf(records []core.RunRecord, elapsed time.Duration) Stats {
-	st := Stats{Shards: 1, Runs: len(records), SimTime: elapsed}
+// statsOf summarizes one shard's framework records. planned == 0 means the
+// shard never called Ctx.AddPlanned and executed everything it planned; a
+// nonzero planned is taken at face value, even below the run count (see
+// Stats.Planned on negative Skipped).
+func statsOf(records []core.RunRecord, elapsed time.Duration, planned int) Stats {
+	st := Stats{Shards: 1, Runs: len(records), Planned: planned, SimTime: elapsed}
+	if st.Planned == 0 {
+		st.Planned = st.Runs
+	}
 	if len(records) > 0 {
 		st.Outcomes = make(map[xgene.Outcome]int, 4)
 	}
@@ -359,21 +461,33 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 			}
 		}()
 	}
+	// skipFrom marks every shard from i on as skipped. Only the dispatcher
+	// writes these slots — no worker ever received their indices.
+	skipFrom := func(i int) {
+		for j := i; j < len(shards); j++ {
+			results[j] = Result[T]{
+				Name:  shards[j].Name,
+				Index: j,
+				Err:   fmt.Errorf("campaign: shard %s skipped: %w", shards[j].Name, ctx.Err()),
+			}
+		}
+	}
 dispatch:
 	for i := range shards {
+		// Check cancellation before the blocking send: when a worker is
+		// already parked on the jobs channel both select cases below are
+		// ready and Go picks randomly — without this check a cancelled
+		// campaign could still dispatch work.
+		if ctx.Err() != nil {
+			skipFrom(i)
+			break
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
 			// Workers finish their in-flight shard; everything not yet
-			// dispatched is marked skipped. Only the dispatcher writes
-			// these slots — no worker ever received their indices.
-			for j := i; j < len(shards); j++ {
-				results[j] = Result[T]{
-					Name:  shards[j].Name,
-					Index: j,
-					Err:   fmt.Errorf("campaign: shard %s skipped: %w", shards[j].Name, ctx.Err()),
-				}
-			}
+			// dispatched is marked skipped.
+			skipFrom(i)
 			break dispatch
 		}
 	}
@@ -392,54 +506,53 @@ dispatch:
 }
 
 // runShard executes one shard on the calling worker, fabricating or reusing
-// its board and wrapping it with a fresh framework.
+// its fleet's boards and wrapping each with a fresh framework.
 func runShard[T any](cfg Config, idx int, sh Shard[T], boards map[boardKey]*xgene.Server) Result[T] {
 	res := Result[T]{Name: sh.Name, Index: idx}
 	boardSeed := sh.Board.Seed
 	if boardSeed == 0 {
 		boardSeed = cfg.Seed
 	}
-	corner := sh.Board.Corner
-	if corner == 0 {
-		corner = silicon.TTT
-	}
-
-	var srv *xgene.Server
-	var err error
-	key := boardKey{corner: corner, seed: boardSeed}
-	if !sh.Board.Fresh {
-		srv = boards[key]
-	}
-	if srv == nil {
-		srv, err = xgene.NewServer(xgene.Options{Corner: corner, Seed: boardSeed})
-		if err != nil {
-			res.Err = fmt.Errorf("campaign: shard %s: fab board: %w", sh.Name, err)
-			return res
-		}
-		if !sh.Board.Fresh {
-			boards[key] = srv
-		}
-	}
-
-	fw, err := core.NewFramework(srv)
-	if err != nil {
-		res.Err = fmt.Errorf("campaign: shard %s: %w", sh.Name, err)
-		return res
+	fleet := sh.Boards
+	if fleet < 1 {
+		fleet = 1
 	}
 	ctx := &Ctx{
 		Name:         sh.Name,
 		Index:        idx,
 		CampaignSeed: cfg.Seed,
 		Seed:         ShardSeed(cfg.Seed, sh.Name),
-		Server:       srv,
-		Framework:    fw,
+		Boards:       fleet,
+		board:        sh.Board,
+		baseSeed:     boardSeed,
+		cache:        boards,
+		fleetSrv:     make([]*xgene.Server, fleet),
+		fleetFW:      make([]*core.Framework, fleet),
+	}
+	var err error
+	// Board 0 is fabricated eagerly so Ctx.Server/Framework are always
+	// usable, exactly as for pre-fleet shards.
+	ctx.Server, ctx.Framework, err = ctx.FleetBoard(0)
+	if err != nil {
+		res.Err = fmt.Errorf("campaign: shard %s: %w", sh.Name, err)
+		return res
 	}
 	v, err := sh.Run(ctx)
 	res.Value = v
 	if err != nil {
 		res.Err = fmt.Errorf("campaign: shard %s: %w", sh.Name, err)
 	}
-	res.Records = fw.Records()
-	res.Stats = statsOf(res.Records, fw.Elapsed())
+	// The shard's records are its fleet's frameworks concatenated in board
+	// order (each board's records in its own execution order) — a pure
+	// function of the shard, so the stream stays worker-count independent.
+	var elapsed time.Duration
+	for _, fw := range ctx.fleetFW {
+		if fw == nil {
+			continue
+		}
+		res.Records = append(res.Records, fw.Records()...)
+		elapsed += fw.Elapsed()
+	}
+	res.Stats = statsOf(res.Records, elapsed, ctx.planned)
 	return res
 }

@@ -24,6 +24,14 @@ type Grid struct {
 	Setups  []core.Setup
 	// Repetitions per cell (the paper runs ten).
 	Repetitions int
+	// Boards, when above 1, runs every cell on a fleet of distinct-seed
+	// boards of the grid's corner: board 0 is the Board.Seed population and
+	// the rest derive via FleetBoardSeed. Each cell's records cover the
+	// fleet board-major (board 0's repetitions, then board 1's, ...), with
+	// per-board repetition seed streams so no two boards replay the same
+	// run variation. 0 or 1 means the classic single-board grid,
+	// byte-identical to pre-fleet output.
+	Boards int
 }
 
 // Validate reports grid construction errors.
@@ -36,6 +44,9 @@ func (g Grid) Validate() error {
 	}
 	if g.Repetitions <= 0 {
 		return errors.New("campaign: grid repetitions must be positive")
+	}
+	if g.Boards < 0 {
+		return errors.New("campaign: grid boards must be non-negative")
 	}
 	return nil
 }
@@ -71,21 +82,39 @@ func RunGrid(cfg Config, g Grid) (*GridReport, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	boards := g.Boards
+	if boards < 1 {
+		boards = 1
+	}
 	var shards []Shard[[]core.RunRecord]
 	for bi, bench := range g.Benches {
 		for si, setup := range g.Setups {
 			shards = append(shards, Shard[[]core.RunRecord]{
-				Name:  fmt.Sprintf("%s/b%d/%s/s%d", g.Name, bi, bench.Name, si),
-				Board: g.Board,
+				Name:   fmt.Sprintf("%s/b%d/%s/s%d", g.Name, bi, bench.Name, si),
+				Board:  g.Board,
+				Boards: boards,
 				Run: func(ctx *Ctx) ([]core.RunRecord, error) {
-					reps := xrand.New(ctx.Seed).Split("grid/reps")
-					out := make([]core.RunRecord, 0, g.Repetitions)
-					for rep := 0; rep < g.Repetitions; rep++ {
-						rec, err := ctx.Framework.ExecuteRun(bench, setup, rep, reps.Uint64())
+					out := make([]core.RunRecord, 0, boards*g.Repetitions)
+					for b := 0; b < boards; b++ {
+						_, fw, err := ctx.FleetBoard(b)
 						if err != nil {
 							return out, err
 						}
-						out = append(out, rec)
+						// A one-board fleet keeps the pre-fleet stream label,
+						// so classic grids reproduce byte-identically; fleet
+						// boards each split their own repetition stream.
+						label := "grid/reps"
+						if boards > 1 {
+							label = fmt.Sprintf("grid/board/%d/reps", b)
+						}
+						reps := xrand.New(ctx.Seed).Split(label)
+						for rep := 0; rep < g.Repetitions; rep++ {
+							rec, err := fw.ExecuteRun(bench, setup, rep, reps.Uint64())
+							if err != nil {
+								return out, err
+							}
+							out = append(out, rec)
+						}
 					}
 					return out, nil
 				},

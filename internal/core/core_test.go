@@ -301,10 +301,10 @@ func TestSummarizeGroupsByVoltage(t *testing.T) {
 }
 
 func TestRoundMV(t *testing.T) {
-	if roundMV(0.86499999) != 0.865 {
-		t.Errorf("roundMV drift: %v", roundMV(0.86499999))
+	if RoundMV(0.86499999) != 0.865 {
+		t.Errorf("roundMV drift: %v", RoundMV(0.86499999))
 	}
-	if roundMV(0.98) != 0.98 {
+	if RoundMV(0.98) != 0.98 {
 		t.Error("roundMV changed an exact value")
 	}
 }

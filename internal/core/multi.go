@@ -115,10 +115,10 @@ func (f *Framework) VminSearchMulti(cfg MultiVminConfig) (VminResult, error) {
 	startV := cfg.Setup.PMDVoltage
 	for v := startV; v >= cfg.FloorV-1e-9; v -= cfg.StepV {
 		setup := cfg.Setup
-		setup.PMDVoltage = roundMV(v)
+		setup.PMDVoltage = RoundMV(v)
 		failed := false
 		for rep := 0; rep < cfg.Repetitions; rep++ {
-			seed := cfg.Seed ^ uint64(roundMV(v)*1e6) ^ uint64(rep)<<48
+			seed := VminRunSeed(cfg.Seed, v, rep)
 			rec, err := f.ExecuteRunMulti(cfg.Assignments, setup, rep, seed)
 			if err != nil {
 				return res, fmt.Errorf("core: multi vmin at %v: %w", setup.PMDVoltage, err)
@@ -136,6 +136,6 @@ func (f *Framework) VminSearchMulti(cfg MultiVminConfig) (VminResult, error) {
 		}
 		res.SafeVminV = setup.PMDVoltage
 	}
-	res.GuardbandV = roundMV(startV - res.SafeVminV)
+	res.GuardbandV = RoundMV(startV - res.SafeVminV)
 	return res, nil
 }

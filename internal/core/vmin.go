@@ -95,10 +95,10 @@ func (f *Framework) VminSearch(cfg VminConfig) (VminResult, error) {
 
 	for v := startV; v >= cfg.FloorV-1e-9; v -= cfg.StepV {
 		setup := cfg.Setup
-		setup.PMDVoltage = roundMV(v)
+		setup.PMDVoltage = RoundMV(v)
 		failed := false
 		for rep := 0; rep < cfg.Repetitions; rep++ {
-			seed := cfg.Seed ^ uint64(roundMV(v)*1e6) ^ uint64(rep)<<48
+			seed := VminRunSeed(cfg.Seed, v, rep)
 			rec, err := f.ExecuteRun(cfg.Benchmark, setup, rep, seed)
 			if err != nil {
 				return res, fmt.Errorf("core: vmin search at %v: %w", setup.PMDVoltage, err)
@@ -119,12 +119,22 @@ func (f *Framework) VminSearch(cfg VminConfig) (VminResult, error) {
 		}
 		res.SafeVminV = setup.PMDVoltage
 	}
-	res.GuardbandV = roundMV(startV - res.SafeVminV)
+	res.GuardbandV = RoundMV(startV - res.SafeVminV)
 	return res, nil
 }
 
-// roundMV snaps a voltage to the millivolt grid to avoid float drift in
+// VminRunSeed derives the per-run seed VminSearch uses at a voltage level.
+// It is exported so alternative search strategies (the campaign engine's
+// adaptive scheduler) can evaluate a grid point as exactly the same pure
+// function of (search seed, voltage, repetition) — that identity is what
+// makes an adaptive search's answer comparable to the exhaustive descent
+// run for run.
+func VminRunSeed(searchSeed uint64, v float64, rep int) uint64 {
+	return searchSeed ^ uint64(RoundMV(v)*1e6) ^ uint64(rep)<<48
+}
+
+// RoundMV snaps a voltage to the millivolt grid to avoid float drift in
 // descent loops and map keys.
-func roundMV(v float64) float64 {
+func RoundMV(v float64) float64 {
 	return float64(int(v*1000+0.5)) / 1000
 }

@@ -38,6 +38,10 @@ type Campaign struct {
 	records []core.RunRecord
 	stats   campaign.Stats
 	workers int
+
+	// lastUsed is the server's LRU clock for this entry; it is read and
+	// written only under the Server's mutex, never this Campaign's.
+	lastUsed uint64
 }
 
 func newCampaign(id string, spec Spec, fingerprint string, extra *core.MultiSink) *Campaign {
@@ -74,9 +78,10 @@ func (c *Campaign) setRunning() {
 	c.mu.Unlock()
 }
 
-// finish records the terminal state. rep may be nil on failure; already
-// streamed records stay buffered either way.
-func (c *Campaign) finish(rep *campaign.GridReport, err error) {
+// finish records the terminal state; already streamed records stay
+// buffered either way. Failed campaigns pass whatever partial stats the
+// engine returned (zero when the spec never materialized).
+func (c *Campaign) finish(stats campaign.Stats, workers int, err error) {
 	c.mu.Lock()
 	if err != nil {
 		c.status = StatusFailed
@@ -84,10 +89,8 @@ func (c *Campaign) finish(rep *campaign.GridReport, err error) {
 	} else {
 		c.status = StatusDone
 	}
-	if rep != nil {
-		c.stats = rep.Stats
-		c.workers = rep.Workers
-	}
+	c.stats = stats
+	c.workers = workers
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
@@ -137,11 +140,17 @@ type View struct {
 	Records int `json:"records"`
 	// Workers is the resolved engine worker count (set once running ends).
 	Workers int `json:"workers,omitempty"`
-	// Engine bookkeeping, present once the campaign finishes.
-	Runs       int            `json:"runs,omitempty"`
-	Recoveries int            `json:"recoveries,omitempty"`
-	SimTime    string         `json:"sim_time,omitempty"`
-	Outcomes   map[string]int `json:"outcomes,omitempty"`
+	// Engine bookkeeping, present once the campaign finishes. PlannedRuns
+	// and SkippedRuns separate what an exhaustive sweep would have
+	// scheduled from what actually ran: adaptive campaigns skip grid
+	// points, and those points appear here — never in Outcomes, which
+	// counts executed runs only.
+	Runs        int            `json:"runs,omitempty"`
+	PlannedRuns int            `json:"planned_runs,omitempty"`
+	SkippedRuns int            `json:"skipped_runs,omitempty"`
+	Recoveries  int            `json:"recoveries,omitempty"`
+	SimTime     string         `json:"sim_time,omitempty"`
+	Outcomes    map[string]int `json:"outcomes,omitempty"`
 }
 
 // view snapshots the campaign for the status endpoints.
@@ -157,6 +166,8 @@ func (c *Campaign) view() View {
 		Records:     len(c.records),
 		Workers:     c.workers,
 		Runs:        c.stats.Runs,
+		PlannedRuns: c.stats.Planned,
+		SkippedRuns: c.stats.Skipped(),
 		Recoveries:  c.stats.Recoveries,
 	}
 	if c.stats.SimTime > 0 {

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSeeds is the in-code half of the seed corpus (the committed half
+// lives under testdata/fuzz): valid exhaustive and adaptive specs, edge
+// spellings, and malformed inputs.
+var fuzzSeeds = []string{
+	`{"seed":7,"benches":["mcf"],"voltages_mv":[980,940],"repetitions":2}`,
+	`{"seed":7,"strategy":"adaptive","benches":["mcf","cactusADM"],"repetitions":4,"boards":2}`,
+	`{"seed":7,"strategy":"adaptive","benches":["mcf"],"repetitions":10,"start_mv":980,"floor_mv":700,"coarse_step_mv":40,"resolution_mv":5,"max_runs":120}`,
+	`{"name":"grid","corner":"TFF","board_seed":9,"seed":7,"core":"weakest","benches":["milc"],"voltages_mv":[980],"trefp_ms":32,"repetitions":1,"workers":4}`,
+	`{"seed":0,"benches":[],"voltages_mv":[]}`,
+	`{"seed":7,"strategy":"genetic","benches":["mcf"],"voltages_mv":[980],"repetitions":1}`,
+	`{"name":"a\u0000TTT","seed":7,"benches":["mcf"],"voltages_mv":[-5,0,1e308],"repetitions":1}`,
+	`{"seed":18446744073709551615,"benches":["mcf"],"voltages_mv":[980],"repetitions":2147483647,"boards":-1}`,
+	`{not json`,
+	`[]`,
+	`{"seed":7,"benches":["mcf"],"voltages_mv":[980],"repetitions":1,"core":"pmd1.c2,junk"}`,
+}
+
+// FuzzSpecJSON throws arbitrary JSON at the submission path's pure half:
+// decoding, defaulting, validation, fingerprinting and materialization
+// must never panic, and every spec that validates must materialize into
+// its strategy's engine form.
+func FuzzSpecJSON(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		d := spec.withDefaults()
+		err := d.Validate()
+		// Fingerprinting is defined (and stable) for every decodable spec,
+		// valid or not.
+		if spec.Fingerprint() != spec.Fingerprint() {
+			t.Fatal("fingerprint not stable")
+		}
+		if err != nil {
+			return
+		}
+		switch d.Strategy {
+		case StrategyAdaptive:
+			if _, err := spec.Schedule(); err != nil {
+				t.Fatalf("valid adaptive spec failed to materialize: %v", err)
+			}
+		default:
+			if _, err := spec.Grid(); err != nil {
+				t.Fatalf("valid exhaustive spec failed to materialize: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzFingerprint checks the cache-key contract on arbitrary decodable
+// specs: fingerprints are invariant under semantic no-ops (defaulting,
+// worker count, the documented zero-value aliases) and sensitive to every
+// semantic mutation — fingerprint equality iff spec equality.
+func FuzzFingerprint(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		fp := spec.Fingerprint()
+
+		// Semantic no-ops must not move the fingerprint.
+		if got := spec.withDefaults().Fingerprint(); got != fp {
+			t.Errorf("defaulting changed the fingerprint: %s -> %s", fp, got)
+		}
+		workers := spec
+		workers.Workers += 7
+		if workers.Fingerprint() != fp {
+			t.Error("worker count leaked into the fingerprint")
+		}
+		if spec.BoardSeed == 0 {
+			alias := spec
+			alias.BoardSeed = spec.Seed
+			if alias.Fingerprint() != fp {
+				t.Error("board_seed 0 and board_seed == seed fingerprint differently")
+			}
+		}
+		if spec.Boards == 0 {
+			alias := spec
+			alias.Boards = 1
+			if alias.Fingerprint() != fp {
+				t.Error("boards 0 and boards 1 fingerprint differently")
+			}
+		}
+
+		// Semantic mutations must move it.
+		mutations := map[string]func(*Spec){
+			"seed":     func(s *Spec) { s.Seed++ },
+			"name":     func(s *Spec) { s.Name += "x" },
+			"bench":    func(s *Spec) { s.Benches = append(s.Benches, "namd") },
+			"voltage":  func(s *Spec) { s.VoltagesMV = append(s.VoltagesMV, 123) },
+			"reps":     func(s *Spec) { s.Repetitions++ },
+			"trefp":    func(s *Spec) { s.TREFPMillis = altFloat(s.TREFPMillis) },
+			"boards":   func(s *Spec) { s.Boards += 2 },
+			"strategy": func(s *Spec) { s.Strategy = flipStrategy(s.withDefaults().Strategy) },
+		}
+		if spec.withDefaults().Strategy == StrategyAdaptive {
+			mutations["resolution"] = func(s *Spec) { *s = s.withDefaults(); s.ResolutionMV = altFloat(s.ResolutionMV) }
+			mutations["floor"] = func(s *Spec) { *s = s.withDefaults(); s.FloorMV = altFloat(s.FloorMV) }
+			mutations["budget"] = func(s *Spec) { s.MaxRuns += 5 }
+		}
+		for name, mutate := range mutations {
+			mutated := spec
+			mutated.Benches = append([]string(nil), spec.Benches...)
+			mutated.VoltagesMV = append([]float64(nil), spec.VoltagesMV...)
+			mutate(&mutated)
+			if mutated.Fingerprint() == fp {
+				t.Errorf("%s mutation did not change the fingerprint", name)
+			}
+		}
+	})
+}
+
+func flipStrategy(s string) string {
+	if s == StrategyAdaptive {
+		return StrategyExhaustive
+	}
+	return StrategyAdaptive
+}
+
+// altFloat returns a value guaranteed to differ from v (v += c is the
+// identity at float64 magnitudes where c vanishes in the mantissa).
+func altFloat(v float64) float64 {
+	if v == 16 {
+		return 32
+	}
+	return 16
+}

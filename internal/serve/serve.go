@@ -1,11 +1,15 @@
 // Package serve is the campaign service layer: a long-lived daemon wrapped
-// around the fleet campaign engine. It accepts characterization grid
-// submissions over HTTP/JSON, schedules them on a bounded run queue,
-// streams every run record live to any number of subscribers (NDJSON or
-// SSE), and answers repeated submissions from an in-memory
-// characterization cache keyed by the spec's deterministic fingerprint —
-// the paper's multi-day campaigns become a shared service instead of a
-// batch job.
+// around the fleet campaign engine. It accepts characterization
+// submissions over HTTP/JSON — uniform grids or adaptive Vmin searches
+// (Spec.Strategy), on single boards or multi-board fleets (Spec.Boards) —
+// schedules them on a bounded run queue, streams every run record live to
+// any number of subscribers (NDJSON or SSE), and answers repeated
+// submissions from an in-memory characterization cache keyed by the spec's
+// deterministic fingerprint — the paper's multi-day campaigns become a
+// shared service instead of a batch job. The cache itself is bounded
+// (Options.CacheMax): least-recently-used finished campaigns are evicted,
+// so record buffers cannot grow without limit; an evicted fingerprint
+// simply re-runs on resubmission.
 //
 // Determinism is the load-bearing invariant, inherited from the engine:
 // the stream a subscriber sees is byte-identical to the serial driver's
@@ -51,6 +55,15 @@ type Options struct {
 	// already parallelizes internally (Spec.Workers), so the default of 1
 	// keeps one grid's workers from fighting another's.
 	Concurrency int
+	// CacheMax bounds the registry — and with it the in-memory record
+	// buffers that back the characterization cache. When admitting a new
+	// campaign would exceed the cap, the least-recently-used terminal
+	// (done or failed) campaign is evicted: its buffer is dropped, its id
+	// stops resolving, and a resubmission of its fingerprint re-runs the
+	// grid instead of replaying. Running and queued campaigns are never
+	// evicted, so the registry can transiently exceed the cap by the
+	// in-flight count when every entry is live. Zero means 256.
+	CacheMax int
 }
 
 // Server is the campaign service: registry, scheduler, cache and HTTP
@@ -70,9 +83,11 @@ type Server struct {
 	byFP        map[string]*Campaign
 	order       []*Campaign
 	nextID      int
+	useSeq      uint64
 	submissions int
 	cacheHits   int
 	gridsRun    int
+	evictions   int
 
 	// gate, when set (tests only), blocks execute until the channel is
 	// closed, making queue-bound behavior deterministic to observe.
@@ -86,6 +101,9 @@ func New(opts Options) *Server {
 	}
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = 1
+	}
+	if opts.CacheMax <= 0 {
+		opts.CacheMax = 256
 	}
 	s := &Server{
 		opts:  opts,
@@ -143,28 +161,51 @@ func (s *Server) scheduler() {
 	}
 }
 
-// execute runs one campaign through the engine, streaming into the
-// campaign's record buffer.
+// execute runs one campaign through the engine — the spec's strategy picks
+// the scheduler — streaming into the campaign's record buffer.
 func (s *Server) execute(c *Campaign) {
 	c.setRunning()
 	if s.gate != nil {
 		<-s.gate
 	}
-	grid, err := c.spec.Grid()
+	cfg := campaign.Config{
+		Workers: c.spec.Workers,
+		Seed:    c.spec.Seed,
+		Sink:    c,
+		Context: s.ctx,
+	}
+	// Submit stores the defaulted spec, so Strategy is already resolved.
+	adaptive := c.spec.Strategy == StrategyAdaptive
+	var sched campaign.Schedule
+	var grid campaign.Grid
+	var err error
+	if adaptive {
+		sched, err = c.spec.Schedule()
+	} else {
+		grid, err = c.spec.Grid()
+	}
 	if err != nil {
-		c.finish(nil, err)
+		c.finish(campaign.Stats{}, 0, err)
 		return
 	}
 	s.mu.Lock()
 	s.gridsRun++
 	s.mu.Unlock()
-	rep, err := campaign.RunGrid(campaign.Config{
-		Workers: c.spec.Workers,
-		Seed:    c.spec.Seed,
-		Sink:    c,
-		Context: s.ctx,
-	}, grid)
-	c.finish(rep, err)
+	if adaptive {
+		rep, err := campaign.RunSchedule(cfg, sched)
+		if rep == nil {
+			c.finish(campaign.Stats{}, 0, err)
+			return
+		}
+		c.finish(rep.Stats, rep.Workers, err)
+		return
+	}
+	rep, err := campaign.RunGrid(cfg, grid)
+	if rep == nil {
+		c.finish(campaign.Stats{}, 0, err)
+		return
+	}
+	c.finish(rep.Stats, rep.Workers, err)
 }
 
 // errQueueFull distinguishes backpressure from bad submissions.
@@ -186,6 +227,7 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 	s.submissions++
 	if prev := s.byFP[fp]; prev != nil && prev.Status() != StatusFailed {
 		s.cacheHits++
+		s.touchLocked(prev)
 		return prev, true, nil
 	}
 	c = newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, fp, s.spool)
@@ -197,18 +239,59 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 	default:
 		return nil, false, errQueueFull
 	}
+	s.evictLocked()
 	s.nextID++
 	s.byID[c.id] = c
 	s.byFP[fp] = c
 	s.order = append(s.order, c)
+	s.touchLocked(c)
 	return c, false, nil
 }
 
-// lookup finds a campaign by id.
+// touchLocked bumps a campaign's LRU clock. Callers hold s.mu.
+func (s *Server) touchLocked(c *Campaign) {
+	s.useSeq++
+	c.lastUsed = s.useSeq
+}
+
+// evictLocked makes room for one more registry entry under Options.CacheMax
+// by dropping least-recently-used terminal campaigns — the registry IS the
+// characterization cache, so eviction trades a future re-run for bounded
+// memory. Live (queued/running) campaigns are never evicted. Callers hold
+// s.mu.
+func (s *Server) evictLocked() {
+	for len(s.order) >= s.opts.CacheMax {
+		victim := -1
+		for i, c := range s.order {
+			if !c.Status().terminal() {
+				continue
+			}
+			if victim == -1 || c.lastUsed < s.order[victim].lastUsed {
+				victim = i
+			}
+		}
+		if victim == -1 {
+			return // everything is live; admit over the cap
+		}
+		c := s.order[victim]
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
+		delete(s.byID, c.id)
+		if s.byFP[c.fingerprint] == c {
+			delete(s.byFP, c.fingerprint)
+		}
+		s.evictions++
+	}
+}
+
+// lookup finds a campaign by id, refreshing its LRU position.
 func (s *Server) lookup(id string) *Campaign {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.byID[id]
+	c := s.byID[id]
+	if c != nil {
+		s.touchLocked(c)
+	}
+	return c
 }
 
 // submitResponse is the POST /campaigns reply.
@@ -280,8 +363,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 // handleStream tails a campaign: buffered records first (cache replay),
 // then live records as the engine's ordering buffer releases them. NDJSON
-// by default — byte-identical to the batch report's JSONL — or SSE when
-// the client asks for text/event-stream.
+// by default — byte-identical to the batch report's JSONL, which is why a
+// failed or cancelled campaign's NDJSON stream ends with a plain EOF and
+// no terminal marker: any trailer would break the byte-identity contract.
+// NDJSON consumers that need to distinguish a complete stream from a
+// truncated one must confirm via GET /campaigns/{id} (status "done");
+// SSE clients get the terminal status in the "done" event instead.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	c := s.lookup(r.PathValue("id"))
 	if c == nil {
@@ -335,6 +422,9 @@ type statsResponse struct {
 	Submissions int            `json:"submissions"`
 	CacheHits   int            `json:"cache_hits"`
 	GridsRun    int            `json:"grids_run"`
+	Evictions   int            `json:"evictions"`
+	Cached      int            `json:"cached"`
+	CacheMax    int            `json:"cache_max"`
 	Queued      int            `json:"queue_len"`
 	QueueDepth  int            `json:"queue_depth"`
 	Statuses    map[Status]int `json:"statuses"`
@@ -346,6 +436,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Submissions: s.submissions,
 		CacheHits:   s.cacheHits,
 		GridsRun:    s.gridsRun,
+		Evictions:   s.evictions,
+		Cached:      len(s.order),
+		CacheMax:    s.opts.CacheMax,
 		Queued:      len(s.queue),
 		QueueDepth:  s.opts.QueueDepth,
 		Statuses:    make(map[Status]int),

@@ -14,16 +14,29 @@ import (
 	"repro/internal/xgene"
 )
 
-// Spec is the wire form of a characterization grid submission: which board
-// to fabricate, which cells to run, and how hard to parallelize. It maps
-// one-to-one onto campaign.Grid + campaign.Config, so anything the daemon
-// measures can be reproduced offline with the same spec.
+// Strategies a spec can request.
+const (
+	// StrategyExhaustive walks the explicit VoltagesMV grid uniformly —
+	// campaign.RunGrid, the default.
+	StrategyExhaustive = "exhaustive"
+	// StrategyAdaptive runs the coarse-to-fine Vmin scheduler
+	// (campaign.RunSchedule): descend from StartMV toward FloorMV, bracket
+	// the failure transition with CoarseStepMV strides, then bisect to
+	// ResolutionMV.
+	StrategyAdaptive = "adaptive"
+)
+
+// Spec is the wire form of a characterization submission: which board(s) to
+// fabricate, which cells to run (or which Vmin search to schedule), and how
+// hard to parallelize. It maps one-to-one onto campaign.Grid or
+// campaign.Schedule plus campaign.Config, so anything the daemon measures
+// can be reproduced offline with the same spec.
 //
-// Validation here is about shape (names resolve, the grid is non-empty);
-// physical validity of the resulting setups is the framework's job at run
-// time, so a submission with, say, a non-positive voltage is accepted,
-// scheduled, and fails as a campaign — the same way a bad setup fails on
-// the bench.
+// Validation here is about shape (names resolve, the grid is non-empty,
+// strategy-specific fields appear only under their strategy); physical
+// validity of the resulting setups is the framework's job at run time, so a
+// submission with, say, a non-positive voltage is accepted, scheduled, and
+// fails as a campaign — the same way a bad setup fails on the bench.
 type Spec struct {
 	// Name labels the grid. It prefixes shard names and therefore keys the
 	// derived run seeds: two specs that differ only in Name are distinct
@@ -49,8 +62,32 @@ type Spec struct {
 	// TREFPMillis overrides the DRAM refresh period (milliseconds); zero
 	// means the nominal 64 ms.
 	TREFPMillis float64 `json:"trefp_ms,omitempty"`
-	// Repetitions per grid cell (the paper runs ten).
+	// Repetitions per grid cell / voltage level (the paper runs ten).
 	Repetitions int `json:"repetitions"`
+	// Strategy selects the scheduler: "exhaustive" (default) or
+	// "adaptive". Exhaustive specs span the setup axis with VoltagesMV;
+	// adaptive specs span it with StartMV..FloorMV instead and must leave
+	// VoltagesMV empty (and vice versa), so two specs that request the
+	// same work are never spelled two ways.
+	Strategy string `json:"strategy,omitempty"`
+	// Boards is the fleet size per cell/search: each shard batches this
+	// many distinct-seed boards of the spec's corner (board 0 keeps the
+	// board seed; see campaign.FleetBoardSeed). Zero means 1.
+	Boards int `json:"boards,omitempty"`
+	// StartMV is the adaptive descent start voltage (millivolts); zero
+	// means nominal. Adaptive-only.
+	StartMV float64 `json:"start_mv,omitempty"`
+	// FloorMV stops the adaptive descent; zero means 700. Adaptive-only.
+	FloorMV float64 `json:"floor_mv,omitempty"`
+	// CoarseStepMV is the adaptive coarse-pass stride; zero means 40. Must
+	// be an integer multiple of ResolutionMV. Adaptive-only.
+	CoarseStepMV float64 `json:"coarse_step_mv,omitempty"`
+	// ResolutionMV is the adaptive final resolution; zero means the
+	// paper's 5. Adaptive-only.
+	ResolutionMV float64 `json:"resolution_mv,omitempty"`
+	// MaxRuns bounds executed runs per (benchmark, board) search; zero
+	// means unbounded. Adaptive-only.
+	MaxRuns int `json:"max_runs,omitempty"`
 	// Workers is the campaign worker count (0 = one per CPU). Excluded
 	// from the fingerprint: the engine's determinism contract guarantees
 	// the worker count never changes results, so two submissions differing
@@ -68,6 +105,23 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Core == "" {
 		s.Core = "robust"
+	}
+	if s.Strategy == "" {
+		s.Strategy = StrategyExhaustive
+	}
+	if s.Strategy == StrategyAdaptive {
+		if s.StartMV == 0 {
+			s.StartMV = silicon.NominalVoltage * 1000
+		}
+		if s.FloorMV == 0 {
+			s.FloorMV = 700
+		}
+		if s.CoarseStepMV == 0 {
+			s.CoarseStepMV = 40
+		}
+		if s.ResolutionMV == 0 {
+			s.ResolutionMV = 5
+		}
 	}
 	return s
 }
@@ -99,8 +153,41 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
-	if len(s.VoltagesMV) == 0 {
-		return errors.New("serve: spec needs at least one voltage")
+	switch s.Strategy {
+	case "", StrategyExhaustive:
+		if len(s.VoltagesMV) == 0 {
+			return errors.New("serve: spec needs at least one voltage")
+		}
+		// One spelling per characterization: adaptive knobs on an
+		// exhaustive spec would be dead weight that still changed the
+		// fingerprint, so they are rejected outright.
+		if s.StartMV != 0 || s.FloorMV != 0 || s.CoarseStepMV != 0 || s.ResolutionMV != 0 || s.MaxRuns != 0 {
+			return errors.New("serve: start_mv/floor_mv/coarse_step_mv/resolution_mv/max_runs are adaptive-only")
+		}
+	case StrategyAdaptive:
+		if len(s.VoltagesMV) != 0 {
+			return errors.New("serve: voltages_mv is exhaustive-only; adaptive specs span start_mv..floor_mv")
+		}
+		if s.ResolutionMV <= 0 {
+			return errors.New("serve: adaptive resolution must be positive")
+		}
+		if s.CoarseStepMV < s.ResolutionMV {
+			return errors.New("serve: coarse step must be at least the resolution")
+		}
+		if m := int(s.CoarseStepMV/s.ResolutionMV + 0.5); !nearlyEqualMV(float64(m)*s.ResolutionMV, s.CoarseStepMV) {
+			return fmt.Errorf("serve: coarse step %g mV is not an integer multiple of resolution %g mV", s.CoarseStepMV, s.ResolutionMV)
+		}
+		if s.FloorMV <= 0 || s.FloorMV >= s.StartMV {
+			return errors.New("serve: adaptive floor must sit below the start voltage")
+		}
+		if s.MaxRuns < 0 {
+			return errors.New("serve: negative run budget")
+		}
+	default:
+		return fmt.Errorf("serve: unknown strategy %q (exhaustive or adaptive)", s.Strategy)
+	}
+	if s.Boards < 0 {
+		return errors.New("serve: negative board count")
 	}
 	if s.Repetitions <= 0 {
 		return errors.New("serve: repetitions must be positive")
@@ -125,11 +212,18 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// nearlyEqualMV absorbs float drift on the millivolt grid.
+func nearlyEqualMV(a, b float64) bool { d := a - b; return d < 1e-6 && d > -1e-6 }
+
 // Fingerprint is the characterization cache key: a stable hash of every
 // spec field that can change results — name, corner, board seed, campaign
-// seed, core placement, refresh period, benches, voltages, repetitions.
-// Workers is deliberately excluded (see the field doc): the cache treats
-// any worker count as the same campaign.
+// seed, core placement, refresh period, benches, repetitions, strategy,
+// fleet size, and the strategy's own axis (voltages for exhaustive, the
+// descent parameters for adaptive). Workers is deliberately excluded (see
+// the field doc): the cache treats any worker count as the same campaign.
+// Semantically identical spellings hash identically (defaults applied,
+// board seed 0 resolved, boards 0 == 1); an exhaustive and an adaptive
+// submission can never collide because the strategy itself is hashed.
 func (s Spec) Fingerprint() string {
 	s = s.withDefaults()
 	// BoardSeed 0 means "the campaign seed" (resolved in Grid), so the
@@ -137,50 +231,59 @@ func (s Spec) Fingerprint() string {
 	if s.BoardSeed == 0 {
 		s.BoardSeed = s.Seed
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%s\x00%g\x00%d\x00",
-		s.Name, s.Corner, s.BoardSeed, s.Seed, s.Core, s.TREFPMillis, s.Repetitions)
-	for _, b := range s.Benches {
-		fmt.Fprintf(h, "b:%s\x00", b)
+	if s.Boards == 0 {
+		s.Boards = 1
 	}
+	h := sha256.New()
+	// Free-form strings (name, bench names) are length-prefixed and the
+	// lists are count-prefixed, so the hash input parses unambiguously: no
+	// crafted name or bench string can impersonate another spec's field or
+	// list boundary.
+	fmt.Fprintf(h, "%d:%s\x00%s\x00%d\x00%d\x00%s\x00%g\x00%d\x00%s\x00%d\x00",
+		len(s.Name), s.Name, s.Corner, s.BoardSeed, s.Seed, s.Core, s.TREFPMillis,
+		s.Repetitions, s.Strategy, s.Boards)
+	fmt.Fprintf(h, "nb:%d\x00", len(s.Benches))
+	for _, b := range s.Benches {
+		fmt.Fprintf(h, "b:%d:%s\x00", len(b), b)
+	}
+	fmt.Fprintf(h, "nv:%d\x00", len(s.VoltagesMV))
 	for _, v := range s.VoltagesMV {
 		fmt.Fprintf(h, "v:%g\x00", v)
+	}
+	if s.Strategy == StrategyAdaptive {
+		fmt.Fprintf(h, "a:%g\x00%g\x00%g\x00%g\x00%d\x00",
+			s.StartMV, s.FloorMV, s.CoarseStepMV, s.ResolutionMV, s.MaxRuns)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
-// Grid materializes the spec into the campaign engine's grid form,
-// applying defaults first. The daemon runs exactly this grid; offline
-// reproduction is campaign.RunGrid(campaign.Config{Seed: spec.Seed},
-// grid) with any worker count.
-func (s Spec) Grid() (campaign.Grid, error) {
-	s = s.withDefaults()
+// resolve validates the defaulted spec and materializes its common parts:
+// the corner, the placed core, and the benchmark profiles. The core is
+// resolved on a probe board — fabrication is a pure function of (corner,
+// seed), so the id resolved here is the id every shard sees.
+func (s Spec) resolve() (silicon.Corner, silicon.CoreID, []workloads.Profile, error) {
 	if err := s.Validate(); err != nil {
-		return campaign.Grid{}, err
+		return 0, silicon.CoreID{}, nil, err
 	}
 	corner, err := s.corner()
 	if err != nil {
-		return campaign.Grid{}, err
+		return 0, silicon.CoreID{}, nil, err
 	}
-
 	benches := make([]workloads.Profile, 0, len(s.Benches))
 	for _, name := range s.Benches {
 		p, err := workloads.ByName(name)
 		if err != nil {
-			return campaign.Grid{}, fmt.Errorf("serve: %w", err)
+			return 0, silicon.CoreID{}, nil, fmt.Errorf("serve: %w", err)
 		}
 		benches = append(benches, p)
 	}
-
-	// Resolve the core on a probe board: fabrication is a pure function of
-	// (corner, seed), so the id resolved here is the id every shard sees.
 	boardSeed := s.BoardSeed
 	if boardSeed == 0 {
 		boardSeed = s.Seed
 	}
 	probe, err := xgene.NewServer(xgene.Options{Corner: corner, Seed: boardSeed})
 	if err != nil {
-		return campaign.Grid{}, fmt.Errorf("serve: probe board: %w", err)
+		return 0, silicon.CoreID{}, nil, fmt.Errorf("serve: probe board: %w", err)
 	}
 	var coreID silicon.CoreID
 	switch s.Core {
@@ -191,22 +294,72 @@ func (s Spec) Grid() (campaign.Grid, error) {
 	default:
 		fmt.Sscanf(s.Core, "pmd%d.c%d", &coreID.PMD, &coreID.Core)
 	}
+	return corner, coreID, benches, nil
+}
 
+// setup builds the spec's base operating point on the resolved core.
+func (s Spec) setup(coreID silicon.CoreID) core.Setup {
+	setup := core.NominalSetup(coreID)
+	if s.TREFPMillis > 0 {
+		setup.TREFP = time.Duration(s.TREFPMillis * float64(time.Millisecond))
+	}
+	return setup
+}
+
+// Grid materializes an exhaustive spec into the campaign engine's grid
+// form, applying defaults first. The daemon runs exactly this grid; offline
+// reproduction is campaign.RunGrid(campaign.Config{Seed: spec.Seed},
+// grid) with any worker count.
+func (s Spec) Grid() (campaign.Grid, error) {
+	s = s.withDefaults()
+	if s.Strategy != StrategyExhaustive {
+		return campaign.Grid{}, fmt.Errorf("serve: Grid on a %q spec (use Schedule)", s.Strategy)
+	}
+	corner, coreID, benches, err := s.resolve()
+	if err != nil {
+		return campaign.Grid{}, err
+	}
 	setups := make([]core.Setup, 0, len(s.VoltagesMV))
 	for _, mv := range s.VoltagesMV {
-		setup := core.NominalSetup(coreID)
+		setup := s.setup(coreID)
 		setup.PMDVoltage = mv / 1000
-		if s.TREFPMillis > 0 {
-			setup.TREFP = time.Duration(s.TREFPMillis * float64(time.Millisecond))
-		}
 		setups = append(setups, setup)
 	}
-
 	return campaign.Grid{
 		Name:        s.Name,
 		Board:       campaign.Board{Corner: corner, Seed: s.BoardSeed},
 		Benches:     benches,
 		Setups:      setups,
 		Repetitions: s.Repetitions,
+		Boards:      s.Boards,
+	}, nil
+}
+
+// Schedule materializes an adaptive spec into the campaign engine's
+// schedule form, applying defaults first. Offline reproduction is
+// campaign.RunSchedule(campaign.Config{Seed: spec.Seed}, schedule) with any
+// worker count.
+func (s Spec) Schedule() (campaign.Schedule, error) {
+	s = s.withDefaults()
+	if s.Strategy != StrategyAdaptive {
+		return campaign.Schedule{}, fmt.Errorf("serve: Schedule on a %q spec (use Grid)", s.Strategy)
+	}
+	corner, coreID, benches, err := s.resolve()
+	if err != nil {
+		return campaign.Schedule{}, err
+	}
+	setup := s.setup(coreID)
+	setup.PMDVoltage = s.StartMV / 1000
+	return campaign.Schedule{
+		Name:        s.Name,
+		Board:       campaign.Board{Corner: corner, Seed: s.BoardSeed},
+		Boards:      s.Boards,
+		Benches:     benches,
+		Setup:       setup,
+		FloorV:      s.FloorMV / 1000,
+		CoarseStepV: s.CoarseStepMV / 1000,
+		ResolutionV: s.ResolutionMV / 1000,
+		Repetitions: s.Repetitions,
+		MaxRuns:     s.MaxRuns,
 	}, nil
 }
