@@ -1,21 +1,31 @@
 // Command campaignd is the characterization campaign daemon: the fleet
 // campaign engine behind an HTTP/JSON service. Clients POST grid specs,
 // tail live NDJSON/SSE record streams, and repeated submissions are
-// answered from the in-memory characterization cache instead of re-running
-// the grid (see internal/serve for the API).
+// answered from the characterization cache instead of re-running the grid
+// (see internal/serve for the API).
 //
 // Usage:
 //
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
-//	          [-cache-max N]
+//	          [-cache-max N] [-store-dir dir] [-store-max N]
+//	          [-drain-timeout d]
+//
+// With -store-dir the daemon is durable: every finished campaign's record
+// stream is committed to an on-disk segment store, a restarted daemon
+// pointed at the same directory warm-loads its cache from the store's
+// manifest, and resubmissions of characterizations measured by an earlier
+// process replay from disk without re-running the grid. -store-max bounds
+// the store (segments; LRU-compacted past the bound).
 //
 // The daemon prints the bound address on startup (use -addr 127.0.0.1:0
-// to pick a free port) and shuts down gracefully on SIGINT/SIGTERM:
-// running campaigns are cancelled between shards, open streams terminate.
+// to pick a free port) and shuts down gracefully on SIGINT/SIGTERM: new
+// submissions are rejected with 503, in-flight campaigns drain (up to
+// -drain-timeout) and commit their segments, the store's manifest is
+// flushed, and only then do the remaining connections close.
 //
 // Quick start:
 //
-//	campaignd -addr 127.0.0.1:8080 &
+//	campaignd -addr 127.0.0.1:8080 -store-dir /var/lib/campaignd &
 //	curl -s -X POST localhost:8080/campaigns \
 //	  -d '{"seed":7,"benches":["mcf"],"voltages_mv":[980,940],"repetitions":2}'
 //	curl -sN localhost:8080/campaigns/c000000/stream
@@ -58,15 +68,33 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	concurrency := fs.Int("concurrency", 1, "campaigns executing at once")
 	spool := fs.String("spool", "", "append every run record to this JSONL spool file")
 	cacheMax := fs.Int("cache-max", 256, "characterization cache bound: finished campaigns retained before LRU eviction")
+	storeDir := fs.String("store-dir", "", "durable store directory: persist finished campaigns and replay them across restarts")
+	storeMax := fs.Int("store-max", 0, "durable store bound (segments, LRU-compacted); 0 = unbounded")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns to finish and commit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	if *storeMax != 0 && *storeDir == "" {
+		return errors.New("-store-max needs -store-dir")
+	}
 
-	srv := serve.New(serve.Options{QueueDepth: *queue, Concurrency: *concurrency, CacheMax: *cacheMax})
+	srv, err := serve.New(serve.Options{
+		QueueDepth:       *queue,
+		Concurrency:      *concurrency,
+		CacheMax:         *cacheMax,
+		StoreDir:         *storeDir,
+		StoreMaxSegments: *storeMax,
+	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
+	if *storeDir != "" {
+		fmt.Fprintf(w, "campaignd durable store at %s\n", *storeDir)
+	}
 
 	if *spool != "" {
 		f, err := os.OpenFile(*spool, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -92,8 +120,16 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		// Cancel campaigns first so open streams terminate, then drain
-		// connections; force-close stragglers after the grace period.
+		// Graceful order: stop accepting submissions and let in-flight
+		// campaigns finish and commit their segments (Drain), then cancel
+		// whatever outlived the grace period and flush the store (Close),
+		// then drain connections; force-close stragglers after a short
+		// final grace.
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if derr := srv.Drain(dctx); derr != nil {
+			fmt.Fprintf(w, "campaignd: %v (cancelling)\n", derr)
+		}
+		dcancel()
 		srv.Close()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

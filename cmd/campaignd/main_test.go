@@ -43,6 +43,144 @@ func TestBadFlagsRejected(t *testing.T) {
 	if err := run(context.Background(), &out, []string{"-spool", filepath.Join(t.TempDir(), "no", "such", "dir", "s.jsonl")}, nil); err == nil {
 		t.Error("unopenable spool accepted")
 	}
+	if err := run(context.Background(), &out, []string{"-store-max", "4"}, nil); err == nil {
+		t.Error("-store-max without -store-dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &out, []string{"-store-dir", file}, nil); err == nil {
+		t.Error("unusable store dir accepted")
+	}
+}
+
+// startDaemon boots the daemon with args and waits for the bound address.
+func startDaemon(t *testing.T, ctx context.Context, out *syncWriter, args []string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, out, args, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// TestDaemonStoreRestart is the CLI half of the restart-replay contract:
+// a daemon rebooted on the same -store-dir serves a prior characterization
+// from disk, byte for byte, without running a grid — and the shutdown in
+// between is the graceful drain path.
+func TestDaemonStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"seed":7,"benches":["mcf"],"voltages_mv":[980,940],"repetitions":2}`
+	args := []string{"-addr", "127.0.0.1:0", "-store-dir", dir}
+
+	post := func(base string) (id, stream string, cached bool) {
+		t.Helper()
+		resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sub struct {
+			ID     string `json:"id"`
+			Stream string `json:"stream"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub.ID, sub.Stream, sub.Cached
+	}
+	tail := func(base, stream string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data := new(bytes.Buffer)
+		if _, err := data.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return data.Bytes()
+	}
+
+	// Life 1: characterize and shut down gracefully.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var out1 syncWriter
+	base1, errc1 := startDaemon(t, ctx1, &out1, args)
+	_, stream1, cached := post(base1)
+	if cached {
+		t.Fatal("first submission claimed cached")
+	}
+	live := tail(base1, stream1)
+	if n := bytes.Count(live, []byte("\n")); n != 4 {
+		t.Fatalf("life 1 streamed %d records, want 4", n)
+	}
+	cancel1()
+	select {
+	case err := <-errc1:
+		if err != nil {
+			t.Fatalf("life 1 shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("life 1 did not shut down")
+	}
+	if !strings.Contains(out1.String(), "durable store at "+dir) {
+		t.Errorf("daemon log missing store banner:\n%s", out1.String())
+	}
+
+	// Life 2: replay from disk.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var out2 syncWriter
+	base2, errc2 := startDaemon(t, ctx2, &out2, args)
+	_, stream2, cached := post(base2)
+	if !cached {
+		t.Fatal("restarted daemon re-ran a stored characterization")
+	}
+	if replay := tail(base2, stream2); !bytes.Equal(replay, live) {
+		t.Error("replayed stream differs from life 1's live stream")
+	}
+	resp, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		GridsRun int `json:"grids_run"`
+		Store    *struct {
+			Segments   int `json:"segments"`
+			ReplayHits int `json:"replay_hits"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.GridsRun != 0 {
+		t.Errorf("life 2 ran %d grids, want 0", stats.GridsRun)
+	}
+	if stats.Store == nil || stats.Store.Segments != 1 || stats.Store.ReplayHits != 1 {
+		t.Errorf("life 2 store stats = %+v", stats.Store)
+	}
+	cancel2()
+	select {
+	case err := <-errc2:
+		if err != nil {
+			t.Errorf("life 2 shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("life 2 did not shut down")
+	}
 }
 
 // TestDaemonSmoke boots the daemon on a free port, submits a tiny grid,

@@ -19,7 +19,7 @@
 //	guardband-char [-chip TTT|TFF|TSS] [-bench name,name|all]
 //	               [-core robust|weakest|pmdP.cC] [-reps N] [-seed N]
 //	               [-workers N] [-csv file] [-adaptive] [-boards N]
-//	               [-coarse mV] [-resolution mV] [-budget N]
+//	               [-coarse mV] [-resolution mV] [-budget N] [-cross-seed]
 package main
 
 import (
@@ -60,6 +60,7 @@ func run(w io.Writer, args []string) error {
 	coarse := fs.Float64("coarse", 40, "adaptive coarse-pass stride (mV)")
 	resolution := fs.Float64("resolution", 5, "final Vmin resolution (mV)")
 	budget := fs.Int("budget", 0, "adaptive run budget per (benchmark, board); 0 = unbounded")
+	crossSeed := fs.Bool("cross-seed", false, "seed each fleet board's coarse pass from its sibling's found Vmin (same answer under a monotone failure transition, fewer runs)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -74,9 +75,12 @@ func run(w io.Writer, args []string) error {
 	if !*adaptive {
 		set := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if set["coarse"] || set["budget"] {
-			return fmt.Errorf("-coarse and -budget are adaptive-only (add -adaptive)")
+		if set["coarse"] || set["budget"] || set["cross-seed"] {
+			return fmt.Errorf("-coarse, -budget and -cross-seed are adaptive-only (add -adaptive)")
 		}
+	}
+	if *crossSeed && *boards < 2 {
+		return fmt.Errorf("-cross-seed needs a fleet (-boards > 1): a single board has no sibling to seed from")
 	}
 
 	var corner silicon.Corner
@@ -130,6 +134,7 @@ func run(w io.Writer, args []string) error {
 		ResolutionV: *resolution / 1000,
 		Repetitions: *reps,
 		MaxRuns:     *budget,
+		CrossSeed:   *crossSeed,
 	}
 	if *adaptive {
 		return runAdaptive(w, corner, coreID, sched, *seed, *workers, *csvPath)

@@ -80,7 +80,10 @@ func run(w io.Writer, args []string) error {
 	if base == "" {
 		// Self-contained mode: an in-process daemon on a loopback port.
 		// The client still talks to it over real HTTP.
-		srv := serve.New(serve.Options{})
+		srv, err := serve.New(serve.Options{})
+		if err != nil {
+			return err
+		}
 		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

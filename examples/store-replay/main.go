@@ -1,0 +1,191 @@
+// store-replay demonstrates the durable characterization store end to end:
+// submit a grid to a campaignd instance backed by -dir, let it finish and
+// commit its segment, kill the daemon, start a brand-new one on the same
+// directory, and resubmit the identical spec — the second daemon answers
+// from disk: instant cache hit, byte-identical record stream, zero grids
+// run. The expensive thing (hours of simulated Vmin descent per campaign
+// on the paper's bench) survives the restart; only the cheap thing (the
+// process) dies.
+//
+//	go run ./examples/store-replay
+//	go run ./examples/store-replay -dir /tmp/char-store -benches mcf,namd
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	guardband "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// daemon is one in-process campaignd life: a serve.Server over the store
+// directory, spoken to over real HTTP.
+type daemon struct {
+	srv  *serve.Server
+	hs   *http.Server
+	base string
+}
+
+func startDaemon(dir string) (*daemon, error) {
+	srv, err := serve.New(serve.Options{StoreDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return &daemon{srv: srv, hs: hs, base: "http://" + ln.Addr().String()}, nil
+}
+
+func (d *daemon) kill() {
+	d.hs.Close()
+	d.srv.Close()
+}
+
+// submitAndStream POSTs the spec and drains the NDJSON stream.
+func (d *daemon) submitAndStream(spec serve.Spec) (cached bool, stream []byte, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := http.Post(d.base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return false, nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+		Stream string `json:"stream"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return false, nil, err
+	}
+	sr, err := http.Get(d.base + sub.Stream)
+	if err != nil {
+		return false, nil, err
+	}
+	defer sr.Body.Close()
+	data, err := io.ReadAll(bufio.NewReader(sr.Body))
+	if err != nil {
+		return false, nil, err
+	}
+	return sub.Cached, data, nil
+}
+
+// stats fetches the daemon's counters.
+func (d *daemon) stats() (map[string]json.RawMessage, error) {
+	resp, err := http.Get(d.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("store-replay", flag.ContinueOnError)
+	dir := fs.String("dir", "", "store directory (empty: a fresh temp dir)")
+	benchList := fs.String("benches", "mcf,namd", "comma-separated benchmark names")
+	reps := fs.Int("reps", 2, "repetitions per grid cell")
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "store-replay-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	spec := serve.Spec{
+		Name:        "store-replay",
+		Seed:        *seed,
+		Benches:     strings.Split(*benchList, ","),
+		VoltagesMV:  []float64{980, 940, 900},
+		Repetitions: *reps,
+	}
+
+	fmt.Fprintf(w, "Durable store demo in %s\n\n", *dir)
+
+	// Life 1: characterize, commit, die.
+	d1, err := startDaemon(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[life 1] campaignd on %s\n", d1.base)
+	cached, live, err := d1.submitAndStream(spec)
+	if err != nil {
+		d1.kill()
+		return err
+	}
+	fmt.Fprintf(w, "[life 1] submitted grid: cached=%v, streamed %d records (%d bytes)\n",
+		cached, bytes.Count(live, []byte("\n")), len(live))
+	st, err := d1.stats()
+	if err != nil {
+		d1.kill()
+		return err
+	}
+	fmt.Fprintf(w, "[life 1] store: %s\n", st["store"])
+	d1.kill()
+	fmt.Fprintln(w, "[life 1] daemon killed — in-memory cache gone, segments on disk remain")
+
+	// Life 2: a new process on the same directory replays from disk.
+	d2, err := startDaemon(*dir)
+	if err != nil {
+		return err
+	}
+	defer d2.kill()
+	fmt.Fprintf(w, "\n[life 2] campaignd on %s (restarted over the same -dir)\n", d2.base)
+	cached, replay, err := d2.submitAndStream(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[life 2] resubmitted the same spec: cached=%v\n", cached)
+	if !cached {
+		return errors.New("restart replay failed: the grid re-ran")
+	}
+	if !bytes.Equal(live, replay) {
+		return errors.New("restart replay failed: stream bytes differ")
+	}
+	fmt.Fprintf(w, "[life 2] replayed stream is byte-identical to life 1's live stream (%d bytes)\n", len(replay))
+	st, err = d2.stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[life 2] grids_run=%s (nothing re-ran), store: %s\n", st["grids_run"], st["store"])
+	fmt.Fprintln(w, "\nThe characterization outlived the daemon: submit -> kill -> restart -> instant cache hit.")
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStoreReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-dir", t.TempDir(), "-benches", "mcf", "-reps", "1"}); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"[life 1] daemon killed",
+		"cached=true",
+		"byte-identical",
+		"grids_run=0",
+		"instant cache hit",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-reps"}); err == nil {
+		t.Error("dangling -reps accepted")
+	}
+	if err := run(&out, []string{"-benches", "no-such-bench", "-dir", t.TempDir()}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

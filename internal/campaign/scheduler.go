@@ -59,6 +59,19 @@ type Schedule struct {
 	// board) search. A search that exhausts the budget reports its best
 	// bracket with Converged = false.
 	MaxRuns int
+	// CrossSeed, when true, seeds each fleet board's coarse pass from the
+	// previous sibling board's already-found Vmin for the same benchmark:
+	// instead of descending from the start voltage, the search probes the
+	// sibling's answer first and strides away from it (down while clean,
+	// up while failing). Same-corner chips have nearby Vmins, so most of
+	// the coarse descent is skipped. Only the visiting order changes —
+	// every level is still the same pure function of (search seed,
+	// voltage, repetition) — so whenever the level-clean predicate is
+	// monotone across the explored range (the physical expectation, pinned
+	// by the golden tests) the SafeVmin is identical to the un-seeded
+	// search. Board 0 always descends from the top; single-board
+	// schedules are unaffected.
+	CrossSeed bool
 }
 
 // DefaultSchedule returns the paper's characterization parameters (5 mV
@@ -203,13 +216,18 @@ func RunSchedule(cfg Config, s Schedule) (*ScheduleReport, error) {
 			Boards: boards,
 			Run: func(ctx *Ctx) ([]AdaptiveResult, error) {
 				out := make([]AdaptiveResult, 0, boards)
+				// hintV carries the last sibling's verified Vmin forward
+				// through the board loop. Boards run sequentially within
+				// the shard, so the hint chain is a pure function of the
+				// schedule — worker count still cannot change results.
+				hintV := 0.0
 				for b := 0; b < boards; b++ {
 					_, fw, err := ctx.FleetBoard(b)
 					if err != nil {
 						return out, err
 					}
 					seed := s.SearchSeed(ctx.CampaignSeed, bi, b)
-					res, err := adaptiveSearch(fw, bench, s, seed)
+					res, err := adaptiveSearch(fw, bench, s, seed, hintV)
 					if err != nil {
 						return out, err
 					}
@@ -217,6 +235,9 @@ func RunSchedule(cfg Config, s Schedule) (*ScheduleReport, error) {
 					res.BoardSeed = FleetBoardSeed(ctx.baseSeed, b)
 					ctx.AddPlanned(res.Planned)
 					out = append(out, res)
+					if s.CrossSeed && res.Converged && res.SafeVminV > 0 {
+						hintV = res.SafeVminV
+					}
 				}
 				return out, nil
 			},
@@ -279,9 +300,50 @@ func (sr *search) evalLevel(k int) (bool, error) {
 	return !failed, nil
 }
 
+// probe evaluates one grid level and folds it into the bracket: clean
+// levels raise safeK, failing ones set failK. budgetStop reports MaxRuns
+// exhaustion (the level stays unclassified).
+func (sr *search) probe(k int, safeK, failK *int) (budgetStop bool, err error) {
+	clean, err := sr.evalLevel(k)
+	if errors.Is(err, errBudget) {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if clean {
+		*safeK = k
+	} else {
+		*failK = k
+	}
+	return false, nil
+}
+
+// scanStride probes every dk-th level from start while inside [0, K],
+// stopping once the bracket closes in the direction of travel: a failure
+// while descending (dk > 0), a clean level while ascending (dk < 0).
+func (sr *search) scanStride(start, dk, K int, safeK, failK *int) (budgetStop bool, err error) {
+	for k := start; k >= 0 && k <= K; k += dk {
+		stop, err := sr.probe(k, safeK, failK)
+		if stop || err != nil {
+			return stop, err
+		}
+		if dk > 0 && *failK == k {
+			return false, nil
+		}
+		if dk < 0 && *safeK == k {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
 // adaptiveSearch runs the coarse-bracket-bisect flow for one benchmark on
-// one board's framework.
-func adaptiveSearch(fw *core.Framework, bench workloads.Profile, s Schedule, seed uint64) (AdaptiveResult, error) {
+// one board's framework. A positive hintV (Schedule.CrossSeed: a sibling
+// board's verified Vmin) replaces the top-down coarse pass with a probe at
+// the hint's grid level plus coarse strides away from it; hintV == 0 is
+// the classic descent.
+func adaptiveSearch(fw *core.Framework, bench workloads.Profile, s Schedule, seed uint64, hintV float64) (AdaptiveResult, error) {
 	// Replicate core.VminSearch's descent accumulation exactly, so level k
 	// here is the voltage the exhaustive sweep visits at step k.
 	var levels []float64
@@ -303,37 +365,58 @@ func adaptiveSearch(fw *core.Framework, bench workloads.Profile, s Schedule, see
 	K := len(levels) - 1
 	m := int(s.CoarseStepV/s.ResolutionV + 0.5)
 
-	// Coarse pass: every m-th level from the start, plus the floor level.
+	// Map the sibling hint onto the level grid; out-of-grid hints (a
+	// sibling Vmin above this search's start) fall back to the descent.
+	hintK := -1
+	if hintV > 0 {
+		if k := int((s.Setup.PMDVoltage-hintV)/s.ResolutionV + 0.5); k >= 0 && k <= K {
+			hintK = k
+		}
+	}
+
 	safeK, failK := -1, -1
 	budgetStop := false
-	for k := 0; k <= K && failK == -1; k += m {
-		clean, err := sr.evalLevel(k)
-		if errors.Is(err, errBudget) {
-			budgetStop = true
-			break
+	if hintK >= 0 {
+		// Seeded coarse pass: probe the sibling's answer, then stride
+		// away from it — down while clean, up while failing. Under the
+		// monotone predicate this lands on the same (safe, fail) bracket
+		// as the top-down pass while skipping the descent above the hint.
+		stop, err := sr.probe(hintK, &safeK, &failK)
+		if err != nil {
+			return res, err
+		}
+		budgetStop = stop
+		switch {
+		case budgetStop:
+		case safeK == hintK:
+			budgetStop, err = sr.scanStride(hintK+m, m, K, &safeK, &failK)
+		default:
+			budgetStop, err = sr.scanStride(hintK-m, -m, K, &safeK, &failK)
+			// The stride up may overshoot the start level; the top of the
+			// grid bounds the bracket exactly as it bounds the descent.
+			if err == nil && !budgetStop && safeK == -1 && failK > 0 {
+				budgetStop, err = sr.probe(0, &safeK, &failK)
+			}
 		}
 		if err != nil {
 			return res, err
 		}
-		if clean {
-			safeK = k
-		} else {
-			failK = k
+	} else {
+		// Coarse pass: every m-th level from the start.
+		var err error
+		budgetStop, err = sr.scanStride(0, m, K, &safeK, &failK)
+		if err != nil {
+			return res, err
 		}
 	}
 	// The floor level belongs to the grid even when the coarse stride
 	// overshoots it; the exhaustive descent always visits it.
 	if !budgetStop && failK == -1 && safeK != K {
-		clean, err := sr.evalLevel(K)
-		if errors.Is(err, errBudget) {
-			budgetStop = true
-		} else if err != nil {
+		stop, err := sr.probe(K, &safeK, &failK)
+		if err != nil {
 			return res, err
-		} else if clean {
-			safeK = K
-		} else {
-			failK = K
 		}
+		budgetStop = stop
 	}
 
 	// Refine: bisect the bracket (safeK, failK) down to adjacent levels.

@@ -297,6 +297,89 @@ func TestFleetBoardsAreDistinctChips(t *testing.T) {
 	}
 }
 
+// TestCrossSeedGoldenEquivalence is the cross-benchmark seeding satellite's
+// guard: seeding a board's coarse pass from its sibling's found Vmin must
+// change the visiting order only — SafeVmin, FirstFail and the exhaustive
+// reference all stay exactly as in the un-seeded search, per corner, while
+// boards beyond the first execute no more runs than before.
+func TestCrossSeedGoldenEquivalence(t *testing.T) {
+	for _, corner := range silicon.Corners() {
+		corner := corner
+		t.Run(corner.String(), func(t *testing.T) {
+			s := goldenSchedule(t, corner, 7, "mcf", "cactusADM")
+			s.Boards = 3
+			s.Repetitions = 4
+			plain, err := RunSchedule(Config{Workers: 4, Seed: 7}, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.CrossSeed = true
+			seeded, err := RunSchedule(Config{Workers: 4, Seed: 7}, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seeded.Results) != len(plain.Results) {
+				t.Fatalf("result counts differ: %d vs %d", len(seeded.Results), len(plain.Results))
+			}
+			savedTotal := 0
+			for i, got := range seeded.Results {
+				want := plain.Results[i]
+				if got.SafeVminV != want.SafeVminV || got.FirstFailV != want.FirstFailV {
+					t.Errorf("%s board %d: seeded SafeVmin %v / fail %v, plain %v / %v",
+						got.Benchmark, got.Board, got.SafeVminV, got.FirstFailV,
+						want.SafeVminV, want.FirstFailV)
+				}
+				// Board 0 has no sibling: its search must be untouched.
+				if got.Board == 0 && got.Runs != want.Runs {
+					t.Errorf("%s board 0 executed %d runs with cross-seed, %d without — board 0 must not change",
+						got.Benchmark, got.Runs, want.Runs)
+				}
+				if got.Board > 0 {
+					savedTotal += want.Runs - got.Runs
+				}
+				// The answer also still matches the exhaustive reference.
+				ref := exhaustiveReference(t, s, corner, got)
+				if got.SafeVminV != ref.SafeVminV {
+					t.Errorf("%s board %d: seeded SafeVmin %v, exhaustive %v",
+						got.Benchmark, got.Board, got.SafeVminV, ref.SafeVminV)
+				}
+			}
+			// Same-corner chips have nearby Vmins: across the fleet the
+			// seeded coarse passes must prune runs overall.
+			if savedTotal <= 0 {
+				t.Errorf("cross-seeding saved %d runs across sibling boards, want > 0", savedTotal)
+			}
+		})
+	}
+}
+
+// TestCrossSeedDeterministicAcrossWorkerCounts extends the determinism
+// contract to the hint chain: the sibling hints flow through the
+// sequential board loop inside each shard, so worker count still cannot
+// move a single record.
+func TestCrossSeedDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := goldenSchedule(t, silicon.TTT, 11, "mcf", "cactusADM")
+	s.Boards = 3
+	s.Repetitions = 4
+	s.CrossSeed = true
+	base, err := RunSchedule(Config{Workers: 1, Seed: 11}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		rep, err := RunSchedule(Config{Workers: workers, Seed: 11}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Results, rep.Results) {
+			t.Errorf("cross-seeded results differ between 1 and %d workers", workers)
+		}
+		if !reflect.DeepEqual(base.Records, rep.Records) {
+			t.Errorf("cross-seeded records differ between 1 and %d workers", workers)
+		}
+	}
+}
+
 // TestGridFleetDeterminism extends RunGrid's worker-count independence to
 // multi-board cells.
 func TestGridFleetDeterminism(t *testing.T) {

@@ -61,9 +61,33 @@ func (f *Framework) emit(rec RunRecord) error {
 	return nil
 }
 
+// LogError is ParseLog's failure report: the 1-based line number of the
+// first line that failed to parse, with the underlying cause. Records on
+// the lines before it were parsed successfully and are returned alongside
+// the error, so callers recovering a truncated or corrupted spool (a
+// crashed writer rarely damages more than the final line) can salvage the
+// intact prefix instead of discarding the whole log.
+type LogError struct {
+	// Line is the 1-based number of the line that failed to parse.
+	Line int
+	// Err is the underlying JSON or read error.
+	Err error
+}
+
+func (e *LogError) Error() string {
+	return fmt.Sprintf("core: parse log line %d: %v", e.Line, e.Err)
+}
+
+func (e *LogError) Unwrap() error { return e.Err }
+
 // ParseLog reads a JSON Lines spool back into run records — the input of
-// the parsing phase. Blank lines are skipped; a malformed line aborts with
-// its line number.
+// the parsing phase. Blank lines are skipped.
+//
+// Prefix-salvage contract: on a malformed line the records parsed before
+// it are returned together with a *LogError carrying the line number —
+// never a nil slice and never records from beyond the damage. Durable-
+// store recovery leans on this to detect exactly where a crash truncated
+// a spool; plain callers can keep treating any non-nil error as fatal.
 func ParseLog(r io.Reader) ([]RunRecord, error) {
 	var out []RunRecord
 	sc := bufio.NewScanner(r)
@@ -77,12 +101,15 @@ func ParseLog(r io.Reader) ([]RunRecord, error) {
 		}
 		var rec RunRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return out, fmt.Errorf("core: parse log line %d: %w", lineNo, err)
+			return out, &LogError{Line: lineNo, Err: err}
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("core: read log: %w", err)
+		// A read failure (or an over-long line) damages the stream at the
+		// line after the last one scanned cleanly; salvage applies the
+		// same way.
+		return out, &LogError{Line: lineNo + 1, Err: err}
 	}
 	return out, nil
 }

@@ -39,6 +39,15 @@ type Campaign struct {
 	stats   campaign.Stats
 	workers int
 
+	// fromStore marks a campaign whose records live in the durable store:
+	// it was adopted from the manifest (daemon restart, or an evicted
+	// fingerprint resubmitted) with metadata only. hydrated flips once the
+	// segment has been read back into the buffer; until then records is
+	// empty and storedRecords carries the on-disk count for the views.
+	fromStore     bool
+	hydrated      bool
+	storedRecords int
+
 	// lastUsed is the server's LRU clock for this entry; it is read and
 	// written only under the Server's mutex, never this Campaign's.
 	lastUsed uint64
@@ -54,6 +63,57 @@ func newCampaign(id string, spec Spec, fingerprint string, extra *core.MultiSink
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
+}
+
+// newStoredCampaign materializes a registry entry from a durable-store
+// manifest line: already done, stats restored, record buffer empty until
+// hydration reads the segment back.
+func newStoredCampaign(id string, spec Spec, fingerprint string, extra *core.MultiSink,
+	stats campaign.Stats, workers, records int) *Campaign {
+	c := newCampaign(id, spec, fingerprint, extra)
+	c.status = StatusDone
+	c.stats = stats
+	c.workers = workers
+	c.fromStore = true
+	c.storedRecords = records
+	return c
+}
+
+// needsHydration reports whether the record buffer must be read back from
+// the store before this campaign can replay a stream.
+func (c *Campaign) needsHydration() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fromStore && !c.hydrated && c.status == StatusDone
+}
+
+// hydrateWith installs the records loaded from the store. Safe to race:
+// the first load wins, later ones are discarded.
+func (c *Campaign) hydrateWith(recs []core.RunRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fromStore || c.hydrated || c.status != StatusDone {
+		return
+	}
+	c.records = recs
+	c.hydrated = true
+	c.cond.Broadcast()
+}
+
+// markLost fails a store-backed campaign whose segment is gone for good
+// (quarantined or compacted away): its fingerprint stops being satisfied,
+// so a resubmission schedules a clean re-run. Transient load errors must
+// NOT come here — the campaign stays done/unhydrated and hydration
+// retries.
+func (c *Campaign) markLost(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fromStore || c.hydrated || c.status != StatusDone {
+		return
+	}
+	c.status = StatusFailed
+	c.errMsg = err.Error()
+	c.cond.Broadcast()
 }
 
 // Record implements core.Sink: this is the campaign engine's streaming
@@ -136,8 +196,13 @@ type View struct {
 	Error       string `json:"error,omitempty"`
 	Fingerprint string `json:"fingerprint"`
 	Spec        Spec   `json:"spec"`
-	// Records counts buffered (already streamed) records so far.
+	// Records counts buffered (already streamed) records so far; for a
+	// store-backed campaign that has not hydrated yet it counts the
+	// records waiting on disk.
 	Records int `json:"records"`
+	// Stored marks a campaign whose records were restored from the durable
+	// store rather than run by this process.
+	Stored bool `json:"stored,omitempty"`
 	// Workers is the resolved engine worker count (set once running ends).
 	Workers int `json:"workers,omitempty"`
 	// Engine bookkeeping, present once the campaign finishes. PlannedRuns
@@ -157,13 +222,18 @@ type View struct {
 func (c *Campaign) view() View {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	records := len(c.records)
+	if c.fromStore && !c.hydrated {
+		records = c.storedRecords
+	}
 	v := View{
 		ID:          c.id,
 		Status:      c.status,
 		Error:       c.errMsg,
 		Fingerprint: c.fingerprint,
 		Spec:        c.spec,
-		Records:     len(c.records),
+		Records:     records,
+		Stored:      c.fromStore,
 		Workers:     c.workers,
 		Runs:        c.stats.Runs,
 		PlannedRuns: c.stats.Planned,

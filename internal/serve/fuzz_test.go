@@ -112,6 +112,7 @@ func FuzzFingerprint(f *testing.F) {
 			mutations["resolution"] = func(s *Spec) { *s = s.withDefaults(); s.ResolutionMV = altFloat(s.ResolutionMV) }
 			mutations["floor"] = func(s *Spec) { *s = s.withDefaults(); s.FloorMV = altFloat(s.FloorMV) }
 			mutations["budget"] = func(s *Spec) { s.MaxRuns += 5 }
+			mutations["cross_seed"] = func(s *Spec) { s.CrossSeed = !s.CrossSeed }
 		}
 		for name, mutate := range mutations {
 			mutated := spec

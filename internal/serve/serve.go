@@ -9,7 +9,13 @@
 // shared service instead of a batch job. The cache itself is bounded
 // (Options.CacheMax): least-recently-used finished campaigns are evicted,
 // so record buffers cannot grow without limit; an evicted fingerprint
-// simply re-runs on resubmission.
+// simply re-runs on resubmission — unless the durable store is enabled
+// (Options.StoreDir), in which case every successful campaign's stream is
+// also committed to disk (internal/store) and evicted or restarted
+// campaigns replay their segment instead of re-running. Characterization
+// is the expensive thing this whole service exists to amortize; with a
+// store directory, neither a crash, a restart, nor memory pressure throws
+// a finished measurement away.
 //
 // Determinism is the load-bearing invariant, inherited from the engine:
 // the stream a subscriber sees is byte-identical to the serial driver's
@@ -40,9 +46,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // Options parameterizes a Server.
@@ -60,10 +68,22 @@ type Options struct {
 	// campaign would exceed the cap, the least-recently-used terminal
 	// (done or failed) campaign is evicted: its buffer is dropped, its id
 	// stops resolving, and a resubmission of its fingerprint re-runs the
-	// grid instead of replaying. Running and queued campaigns are never
-	// evicted, so the registry can transiently exceed the cap by the
-	// in-flight count when every entry is live. Zero means 256.
+	// grid — unless the durable store holds its segment, in which case the
+	// resubmission replays from disk instead. Running and queued campaigns
+	// are never evicted, so the registry can transiently exceed the cap by
+	// the in-flight count when every entry is live. Zero means 256.
 	CacheMax int
+	// StoreDir, when set, enables the durable characterization store
+	// (internal/store) under this directory: every successful campaign's
+	// record stream is committed as a segment, the registry warm-loads
+	// from the manifest on boot, and restarted or evicted campaigns replay
+	// from disk instead of re-running.
+	StoreDir string
+	// StoreMaxSegments / StoreMaxBytes bound the store; commits past a
+	// bound compact least-recently-used segments first. Zero means
+	// unbounded.
+	StoreMaxSegments int
+	StoreMaxBytes    int64
 }
 
 // Server is the campaign service: registry, scheduler, cache and HTTP
@@ -72,6 +92,7 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 	spool *core.MultiSink
+	store *store.Store
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -88,14 +109,21 @@ type Server struct {
 	cacheHits   int
 	gridsRun    int
 	evictions   int
+	replayHits  int
+	storeErrors int
+	draining    bool
 
 	// gate, when set (tests only), blocks execute until the channel is
 	// closed, making queue-bound behavior deterministic to observe.
 	gate chan struct{}
 }
 
-// New builds a Server and starts its scheduler workers.
-func New(opts Options) *Server {
+// New builds a Server and starts its scheduler workers. With
+// Options.StoreDir set it also opens (recovering if necessary) the durable
+// store and warm-loads the registry from its manifest, least-recently-used
+// first, so the in-memory LRU order continues where the last process left
+// off.
+func New(opts Options) (*Server, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 16
 	}
@@ -111,6 +139,22 @@ func New(opts Options) *Server {
 		queue: make(chan *Campaign, opts.QueueDepth),
 		byID:  make(map[string]*Campaign),
 		byFP:  make(map[string]*Campaign),
+	}
+	if opts.StoreDir != "" {
+		st, err := store.Open(store.Options{
+			Dir:         opts.StoreDir,
+			MaxSegments: opts.StoreMaxSegments,
+			MaxBytes:    opts.StoreMaxBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.mu.Lock()
+		for _, e := range st.Entries() {
+			s.adoptLocked(e)
+		}
+		s.mu.Unlock()
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -128,18 +172,57 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.scheduler()
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close cancels every running campaign (their engines observe the context
-// between shards) and stops the scheduler workers. Queued campaigns stay
-// queued; streams of cancelled campaigns terminate with status failed.
+// between shards), stops the scheduler workers and releases the durable
+// store (flushing its manifest). Queued campaigns stay queued; streams of
+// cancelled campaigns terminate with status failed. For a loss-free stop,
+// call Drain first.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
+
+// errDraining rejects submissions during graceful shutdown.
+var errDraining = errors.New("serve: draining, no new submissions")
+
+// Drain is the graceful half of shutdown: it stops accepting submissions
+// (they get 503, like a full queue) and blocks until every admitted
+// campaign reaches a terminal state — in-flight grids finish and commit
+// their segments — or ctx expires, whichever is first. The caller then
+// Closes the server; nothing measured before the drain is lost.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for {
+		// Every queued campaign is registered, so the registry alone
+		// knows what is still live.
+		s.mu.Lock()
+		live := 0
+		for _, c := range s.order {
+			if !c.Status().terminal() {
+				live++
+			}
+		}
+		s.mu.Unlock()
+		if live == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d campaigns still live: %w", live, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
 }
 
 // AttachSink subscribes a sink to every record of every campaign (the
@@ -162,59 +245,105 @@ func (s *Server) scheduler() {
 }
 
 // execute runs one campaign through the engine — the spec's strategy picks
-// the scheduler — streaming into the campaign's record buffer.
+// the scheduler — streaming into the campaign's record buffer and, when
+// the store is enabled, into an uncommitted segment that becomes durable
+// exactly when the campaign finishes cleanly.
 func (s *Server) execute(c *Campaign) {
 	c.setRunning()
 	if s.gate != nil {
 		<-s.gate
 	}
+	var sink core.Sink = c
+	var tee *storeTee
+	if s.store != nil {
+		if w, err := s.store.Begin(c.fingerprint); err == nil {
+			tee = &storeTee{live: c, w: w}
+			sink = tee
+		} else {
+			s.noteStoreError()
+		}
+	}
+	stats, workers, err := s.runEngine(c, sink)
+	if tee != nil {
+		// Persist before the campaign turns terminal, so "stream ended" /
+		// "drain returned" imply "segment durable". Only complete,
+		// successful characterizations are kept: a failed or cancelled
+		// campaign's partial stream is worthless (it re-runs on
+		// resubmission anyway), and a segment the tee could not fully
+		// write must not be committed as if it were whole.
+		switch {
+		case err != nil:
+			tee.w.Abort()
+		case tee.err != nil:
+			tee.w.Abort()
+			s.noteStoreError()
+		default:
+			if meta, merr := json.Marshal(metaOf(c.spec, workers, stats)); merr != nil {
+				tee.w.Abort()
+				s.noteStoreError()
+			} else if cerr := tee.w.Commit(meta); cerr != nil {
+				s.noteStoreError()
+			}
+		}
+	}
+	c.finish(stats, workers, err)
+}
+
+// runEngine dispatches to the spec's scheduler and normalizes the
+// (stats, workers, error) triple.
+func (s *Server) runEngine(c *Campaign, sink core.Sink) (campaign.Stats, int, error) {
 	cfg := campaign.Config{
 		Workers: c.spec.Workers,
 		Seed:    c.spec.Seed,
-		Sink:    c,
+		Sink:    sink,
 		Context: s.ctx,
 	}
 	// Submit stores the defaulted spec, so Strategy is already resolved.
-	adaptive := c.spec.Strategy == StrategyAdaptive
-	var sched campaign.Schedule
-	var grid campaign.Grid
-	var err error
-	if adaptive {
-		sched, err = c.spec.Schedule()
-	} else {
-		grid, err = c.spec.Grid()
+	if c.spec.Strategy == StrategyAdaptive {
+		sched, err := c.spec.Schedule()
+		if err != nil {
+			return campaign.Stats{}, 0, err
+		}
+		s.countGridRun()
+		rep, err := campaign.RunSchedule(cfg, sched)
+		if rep == nil {
+			return campaign.Stats{}, 0, err
+		}
+		return rep.Stats, rep.Workers, err
 	}
+	grid, err := c.spec.Grid()
 	if err != nil {
-		c.finish(campaign.Stats{}, 0, err)
-		return
+		return campaign.Stats{}, 0, err
 	}
+	s.countGridRun()
+	rep, err := campaign.RunGrid(cfg, grid)
+	if rep == nil {
+		return campaign.Stats{}, 0, err
+	}
+	return rep.Stats, rep.Workers, err
+}
+
+func (s *Server) countGridRun() {
 	s.mu.Lock()
 	s.gridsRun++
 	s.mu.Unlock()
-	if adaptive {
-		rep, err := campaign.RunSchedule(cfg, sched)
-		if rep == nil {
-			c.finish(campaign.Stats{}, 0, err)
-			return
-		}
-		c.finish(rep.Stats, rep.Workers, err)
-		return
-	}
-	rep, err := campaign.RunGrid(cfg, grid)
-	if rep == nil {
-		c.finish(campaign.Stats{}, 0, err)
-		return
-	}
-	c.finish(rep.Stats, rep.Workers, err)
+}
+
+func (s *Server) noteStoreError() {
+	s.mu.Lock()
+	s.storeErrors++
+	s.mu.Unlock()
 }
 
 // errQueueFull distinguishes backpressure from bad submissions.
 var errQueueFull = errors.New("serve: run queue full")
 
 // Submit registers a spec and enqueues it, or returns the cached campaign
-// for an already-known fingerprint. cached is true when no new grid run
-// was scheduled. A previously failed campaign does not satisfy its
-// fingerprint: resubmitting replaces it with a fresh attempt.
+// for an already-known fingerprint — from the in-memory registry, or
+// adopted from the durable store (a restarted daemon or an evicted entry:
+// the records replay from disk, no grid re-runs). cached is true when no
+// new grid run was scheduled. A previously failed campaign does not
+// satisfy its fingerprint: resubmitting replaces it with a fresh attempt.
 func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -222,14 +351,53 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 	}
 	fp := spec.Fingerprint()
 
-	s.mu.Lock()
+	// fromDisk survives the hydration retry: it marks a submission the
+	// store answered (adoption or segment read triggered here), which is
+	// what the replay-hit counter reports — later hits on the same
+	// hydrated buffer are ordinary cache hits.
+	fromDisk := false
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return nil, false, errDraining
+		}
+		prev := s.byFP[fp]
+		if prev == nil && s.store != nil {
+			if e, ok := s.store.Get(fp); ok {
+				prev, fromDisk = s.adoptLocked(e)
+			}
+		}
+		if prev != nil && prev.Status() != StatusFailed {
+			if prev.needsHydration() {
+				// Read the segment back outside the registry lock, then
+				// re-examine: a lost segment marks the campaign failed and
+				// the next pass schedules a clean re-run, while a
+				// transient store error surfaces to the submitter (503,
+				// retry) instead of forgetting or re-measuring anything.
+				fromDisk = true
+				s.mu.Unlock()
+				if err := s.hydrate(prev); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
+			s.submissions++
+			s.cacheHits++
+			if fromDisk {
+				s.replayHits++
+			}
+			s.touchLocked(prev)
+			if s.store != nil && prev.fromStore {
+				s.store.Touch(fp)
+			}
+			s.mu.Unlock()
+			return prev, true, nil
+		}
+		break // miss (or failed predecessor): schedule a fresh run
+	}
 	defer s.mu.Unlock()
 	s.submissions++
-	if prev := s.byFP[fp]; prev != nil && prev.Status() != StatusFailed {
-		s.cacheHits++
-		s.touchLocked(prev)
-		return prev, true, nil
-	}
 	c = newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, fp, s.spool)
 	// Enqueue and register under one critical section: a rejected
 	// submission leaves no trace, and a registered campaign is always
@@ -256,9 +424,9 @@ func (s *Server) touchLocked(c *Campaign) {
 
 // evictLocked makes room for one more registry entry under Options.CacheMax
 // by dropping least-recently-used terminal campaigns — the registry IS the
-// characterization cache, so eviction trades a future re-run for bounded
-// memory. Live (queued/running) campaigns are never evicted. Callers hold
-// s.mu.
+// characterization cache, so eviction trades a future re-run (or, with the
+// durable store enabled, a cheap replay from disk) for bounded memory.
+// Live (queued/running) campaigns are never evicted. Callers hold s.mu.
 func (s *Server) evictLocked() {
 	for len(s.order) >= s.opts.CacheMax {
 		victim := -1
@@ -283,7 +451,10 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// lookup finds a campaign by id, refreshing its LRU position.
+// lookup finds a campaign by id, refreshing its LRU position. It does NOT
+// hydrate: status polls on adopted campaigns must stay cheap (view()
+// reports the on-disk record count), so only the stream handler and the
+// Submit hit path pay for a segment read.
 func (s *Server) lookup(id string) *Campaign {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -322,7 +493,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c, cached, err := s.Submit(spec)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, errQueueFull) {
+		if errors.Is(err, errQueueFull) || errors.Is(err, errDraining) || errors.Is(err, errStoreUnavailable) {
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
@@ -373,6 +544,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	c := s.lookup(r.PathValue("id"))
 	if c == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	// An adopted campaign replays from disk: read the segment back before
+	// committing to a 200. A transient store failure is retryable (503);
+	// a lost segment marks the campaign failed and the stream below
+	// terminates with that status.
+	if err := s.hydrate(c); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -427,7 +606,26 @@ type statsResponse struct {
 	CacheMax    int            `json:"cache_max"`
 	Queued      int            `json:"queue_len"`
 	QueueDepth  int            `json:"queue_depth"`
+	Draining    bool           `json:"draining,omitempty"`
 	Statuses    map[Status]int `json:"statuses"`
+	// Store reports the durable store, when enabled.
+	Store *storeStatsView `json:"store,omitempty"`
+}
+
+// storeStatsView is the durable store's slice of GET /stats.
+type storeStatsView struct {
+	// Segments/Bytes cover committed, trusted segments on disk.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// ReplayHits counts submissions answered from disk (restart or
+	// post-eviction) — each one is a full characterization not re-run.
+	ReplayHits int `json:"replay_hits"`
+	// Quarantined counts segments recovery refused to trust; Compactions
+	// counts segments evicted by the store bounds; Errors counts
+	// persistence failures (the campaigns themselves were unaffected).
+	Quarantined int `json:"quarantined"`
+	Compactions int `json:"compactions"`
+	Errors      int `json:"errors,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -441,7 +639,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheMax:    s.opts.CacheMax,
 		Queued:      len(s.queue),
 		QueueDepth:  s.opts.QueueDepth,
+		Draining:    s.draining,
 		Statuses:    make(map[Status]int),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &storeStatsView{
+			Segments:    st.Segments,
+			Bytes:       st.Bytes,
+			ReplayHits:  s.replayHits,
+			Quarantined: st.Quarantined,
+			Compactions: st.Compactions,
+			Errors:      s.storeErrors,
+		}
 	}
 	campaigns := append([]*Campaign(nil), s.order...)
 	s.mu.Unlock()

@@ -56,7 +56,10 @@ func batchJSONL(t *testing.T, spec Spec) []byte {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -201,6 +204,8 @@ func TestSubmitValidation(t *testing.T) {
 		{Seed: 1, Benches: []string{"mcf"}, VoltagesMV: []float64{980}, Repetitions: 1, Core: "bogus"},        // bad core
 		{Seed: 1, Benches: []string{"mcf"}, VoltagesMV: []float64{980}, Repetitions: 1, Core: "pmd1.c2,junk"}, // trailing garbage
 		{Seed: 1, Benches: []string{"mcf"}, VoltagesMV: []float64{980}, Repetitions: 1, Core: "pmd9.c9"},      // out of range
+		{Seed: 1, Benches: []string{"mcf"}, VoltagesMV: []float64{980}, Repetitions: 1, CrossSeed: true},      // cross_seed is adaptive-only
+		{Seed: 1, Strategy: StrategyAdaptive, Benches: []string{"mcf"}, Repetitions: 1, CrossSeed: true},      // cross_seed without a fleet
 	}
 	for i, spec := range bad {
 		body, _ := json.Marshal(spec)

@@ -88,6 +88,15 @@ type Spec struct {
 	// MaxRuns bounds executed runs per (benchmark, board) search; zero
 	// means unbounded. Adaptive-only.
 	MaxRuns int `json:"max_runs,omitempty"`
+	// CrossSeed seeds each fleet board's coarse pass from its sibling's
+	// already-found Vmin (campaign.Schedule.CrossSeed): same SafeVmin
+	// whenever the failure transition is monotone (the physical
+	// expectation, pinned per corner by the golden tests), fewer coarse
+	// levels executed. The executed run set (and so the record stream)
+	// differs, which is why it is part of the fingerprint. Adaptive-only,
+	// and requires Boards > 1 — on a single board it would be a no-op
+	// spelling that still split the cache key.
+	CrossSeed bool `json:"cross_seed,omitempty"`
 	// Workers is the campaign worker count (0 = one per CPU). Excluded
 	// from the fingerprint: the engine's determinism contract guarantees
 	// the worker count never changes results, so two submissions differing
@@ -161,8 +170,8 @@ func (s Spec) Validate() error {
 		// One spelling per characterization: adaptive knobs on an
 		// exhaustive spec would be dead weight that still changed the
 		// fingerprint, so they are rejected outright.
-		if s.StartMV != 0 || s.FloorMV != 0 || s.CoarseStepMV != 0 || s.ResolutionMV != 0 || s.MaxRuns != 0 {
-			return errors.New("serve: start_mv/floor_mv/coarse_step_mv/resolution_mv/max_runs are adaptive-only")
+		if s.StartMV != 0 || s.FloorMV != 0 || s.CoarseStepMV != 0 || s.ResolutionMV != 0 || s.MaxRuns != 0 || s.CrossSeed {
+			return errors.New("serve: start_mv/floor_mv/coarse_step_mv/resolution_mv/max_runs/cross_seed are adaptive-only")
 		}
 	case StrategyAdaptive:
 		if len(s.VoltagesMV) != 0 {
@@ -182,6 +191,12 @@ func (s Spec) Validate() error {
 		}
 		if s.MaxRuns < 0 {
 			return errors.New("serve: negative run budget")
+		}
+		// cross_seed with no sibling boards is a semantic no-op that would
+		// still split the cache key — same "one spelling per
+		// characterization" rule as the strategy-exclusive fields.
+		if s.CrossSeed && s.Boards <= 1 {
+			return errors.New("serve: cross_seed needs a fleet (boards > 1)")
 		}
 	default:
 		return fmt.Errorf("serve: unknown strategy %q (exhaustive or adaptive)", s.Strategy)
@@ -251,8 +266,8 @@ func (s Spec) Fingerprint() string {
 		fmt.Fprintf(h, "v:%g\x00", v)
 	}
 	if s.Strategy == StrategyAdaptive {
-		fmt.Fprintf(h, "a:%g\x00%g\x00%g\x00%g\x00%d\x00",
-			s.StartMV, s.FloorMV, s.CoarseStepMV, s.ResolutionMV, s.MaxRuns)
+		fmt.Fprintf(h, "a:%g\x00%g\x00%g\x00%g\x00%d\x00%t\x00",
+			s.StartMV, s.FloorMV, s.CoarseStepMV, s.ResolutionMV, s.MaxRuns, s.CrossSeed)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
@@ -361,5 +376,6 @@ func (s Spec) Schedule() (campaign.Schedule, error) {
 		ResolutionV: s.ResolutionMV / 1000,
 		Repetitions: s.Repetitions,
 		MaxRuns:     s.MaxRuns,
+		CrossSeed:   s.CrossSeed,
 	}, nil
 }

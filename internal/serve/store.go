@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/xgene"
+)
+
+// This file is the bridge between the serving registry and the durable
+// characterization store (internal/store). The registry stays the
+// authority on liveness and LRU order; the store is the authority on what
+// survived a restart. Three flows meet here:
+//
+//   - persist: execute() tees every record of a successful campaign into a
+//     segment writer and commits it with the spec + bookkeeping as the
+//     manifest summary;
+//   - adopt: a fingerprint found in the manifest but not in the registry
+//     (daemon restart, or evicted-then-resubmitted) becomes a done
+//     campaign with an empty buffer;
+//   - hydrate: the first stream or cache hit on an adopted campaign reads
+//     the segment back — the replayed bytes are identical to the original
+//     live stream because the segment IS that stream.
+
+// storedMeta is the summary each manifest line carries: everything the
+// registry needs to rebuild its view of a finished campaign without
+// opening the segment.
+type storedMeta struct {
+	Spec       Spec           `json:"spec"`
+	Workers    int            `json:"workers"`
+	Shards     int            `json:"shards,omitempty"`
+	Runs       int            `json:"runs,omitempty"`
+	Planned    int            `json:"planned,omitempty"`
+	Recoveries int            `json:"recoveries,omitempty"`
+	SimTime    time.Duration  `json:"sim_time_ns,omitempty"`
+	Outcomes   map[string]int `json:"outcomes,omitempty"`
+}
+
+// metaOf flattens campaign bookkeeping into the persisted summary.
+func metaOf(spec Spec, workers int, stats campaign.Stats) storedMeta {
+	m := storedMeta{
+		Spec:       spec,
+		Workers:    workers,
+		Shards:     stats.Shards,
+		Runs:       stats.Runs,
+		Planned:    stats.Planned,
+		Recoveries: stats.Recoveries,
+		SimTime:    stats.SimTime,
+	}
+	if len(stats.Outcomes) > 0 {
+		m.Outcomes = make(map[string]int, len(stats.Outcomes))
+		for o, n := range stats.Outcomes {
+			m.Outcomes[o.String()] = n
+		}
+	}
+	return m
+}
+
+// campaignStats inflates the summary back into engine bookkeeping.
+func (m storedMeta) campaignStats() (campaign.Stats, error) {
+	st := campaign.Stats{
+		Shards:     m.Shards,
+		Runs:       m.Runs,
+		Planned:    m.Planned,
+		Recoveries: m.Recoveries,
+		SimTime:    m.SimTime,
+	}
+	if len(m.Outcomes) > 0 {
+		st.Outcomes = make(map[xgene.Outcome]int, len(m.Outcomes))
+		for name, n := range m.Outcomes {
+			o, err := xgene.ParseOutcome(name)
+			if err != nil {
+				return st, err
+			}
+			st.Outcomes[o] = n
+		}
+	}
+	return st, nil
+}
+
+// adoptLocked registers a done campaign for a store entry. It refuses
+// entries whose metadata does not parse or does not fingerprint back to
+// the key it is filed under — a corrupted or tampered manifest line must
+// never impersonate another spec's characterization; the submission then
+// simply re-runs. Callers hold s.mu.
+func (s *Server) adoptLocked(e store.Entry) (*Campaign, bool) {
+	var m storedMeta
+	if err := json.Unmarshal(e.Meta, &m); err != nil {
+		return nil, false
+	}
+	stats, err := m.campaignStats()
+	if err != nil {
+		return nil, false
+	}
+	spec := m.Spec.withDefaults()
+	if spec.Fingerprint() != e.Fingerprint {
+		return nil, false
+	}
+	c := newStoredCampaign(fmt.Sprintf("c%06d", s.nextID), spec, e.Fingerprint,
+		s.spool, stats, m.Workers, e.Records)
+	s.evictLocked()
+	s.nextID++
+	s.byID[c.id] = c
+	s.byFP[c.fingerprint] = c
+	s.order = append(s.order, c)
+	s.touchLocked(c)
+	return c, true
+}
+
+// errStoreUnavailable wraps transient segment-load failures: the
+// characterization is still on disk, the caller should retry (503), and
+// nothing may be forgotten or re-run over it.
+var errStoreUnavailable = errors.New("serve: store temporarily unavailable")
+
+// hydrate reads an adopted campaign's segment back into its buffer. Safe
+// to race: the loser's load is discarded. Load failures split two ways,
+// mirroring store.Load's contract: if the store dropped the entry (the
+// segment was damaged and quarantined) the campaign is marked failed so a
+// resubmission re-runs cleanly; if the entry survived (a transient read
+// error) the campaign stays done/unhydrated and the returned
+// errStoreUnavailable tells the caller to retry rather than re-measure.
+func (s *Server) hydrate(c *Campaign) error {
+	if s.store == nil || !c.needsHydration() {
+		return nil
+	}
+	recs, err := s.store.Load(c.fingerprint)
+	if err != nil {
+		if _, ok := s.store.Get(c.fingerprint); ok {
+			return fmt.Errorf("%w: %v", errStoreUnavailable, err)
+		}
+		c.markLost(err)
+		return nil
+	}
+	c.hydrateWith(recs)
+	return nil
+}
+
+// storeTee fans the engine's stream into the live campaign buffer and the
+// store's segment writer. A writer failure is remembered, not propagated:
+// losing durability must never abort the characterization that is being
+// measured — execute() checks err before committing and aborts the
+// segment instead.
+type storeTee struct {
+	live core.Sink
+	w    *store.Writer
+	err  error
+}
+
+func (t *storeTee) Record(rec core.RunRecord) error {
+	if err := t.live.Record(rec); err != nil {
+		return err
+	}
+	if t.err == nil {
+		t.err = t.w.Record(rec)
+	}
+	return nil
+}
+
+var _ core.Sink = (*storeTee)(nil)

@@ -1,0 +1,738 @@
+// Package store is the durable characterization store behind campaignd: an
+// append-only, fingerprint-keyed segment log of core.RunRecord JSON Lines.
+// The paper's premise is that characterization is expensive — hours of Vmin
+// descent per (benchmark, board) — so a finished campaign's records must
+// survive daemon restarts and cache eviction instead of being re-measured.
+//
+// Layout (everything lives under Options.Dir):
+//
+//	MANIFEST.jsonl        append-only journal of put/touch/del operations;
+//	                      replaying it yields the fingerprint -> segment
+//	                      index with a summary per entry and the LRU order
+//	seg-<fp>.jsonl        one committed segment per characterization: the
+//	                      campaign's record stream, byte-identical to the
+//	                      live NDJSON stream that produced it
+//	seg-<fp>.jsonl.tmp    a campaign still being written (crash debris if
+//	                      one survives a restart)
+//	quarantine/           segments recovery refused to trust, kept for
+//	                      forensics instead of deleted
+//
+// Crash safety. A segment is written to a .tmp file while the campaign
+// runs, then fsync'd, renamed into place, and only after the directory
+// itself is fsync'd does a "put" line (fsync'd too) enter the manifest —
+// so a manifest entry always names a fully durable segment. Recovery
+// (Open) distrusts everything anyway: the manifest is parsed with prefix
+// salvage (a line truncated by a crash drops, the intact prefix stands),
+// leftover .tmp files and segments the manifest doesn't claim are
+// quarantined, and every claimed segment is re-parsed and length-checked —
+// a truncated or corrupt segment is quarantined and its entry dropped, so
+// the damaged campaign simply re-runs while intact ones replay.
+//
+// Compaction. The store is size/count-bounded (Options.MaxSegments,
+// MaxBytes): committing past a bound evicts least-recently-used segments
+// first, mirroring the serving registry's LRU order — Touch is how the
+// registry propagates its clock. The manifest journal itself is compacted
+// (rewritten to pure puts) on Open when touch/del churn has bloated it.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+const (
+	manifestName  = "MANIFEST.jsonl"
+	quarantineDir = "quarantine"
+	segPrefix     = "seg-"
+	segSuffix     = ".jsonl"
+	tmpSuffix     = ".tmp"
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// Dir is the store directory; created (with its quarantine
+	// subdirectory) if missing.
+	Dir string
+	// MaxSegments bounds how many committed segments are retained; zero
+	// means unbounded. Commits past the bound evict LRU segments.
+	MaxSegments int
+	// MaxBytes bounds the total committed segment bytes; zero means
+	// unbounded. The newest segment is never evicted by its own commit,
+	// so one oversized campaign can transiently exceed the bound.
+	MaxBytes int64
+}
+
+// Entry is one committed characterization: where its records live and the
+// summary its manifest line carries.
+type Entry struct {
+	// Fingerprint is the characterization cache key (the serving layer's
+	// spec fingerprint).
+	Fingerprint string
+	// Segment is the segment file name within the store directory.
+	Segment string
+	// Records is the record count the segment was committed with; recovery
+	// re-checks it.
+	Records int
+	// Bytes is the segment's committed size.
+	Bytes int64
+	// Meta is the caller's opaque summary (the daemon persists the spec
+	// and campaign bookkeeping here, so a restarted registry can rebuild
+	// its view without opening the segment).
+	Meta json.RawMessage
+	// seq is the LRU clock: higher means more recently used.
+	seq uint64
+}
+
+// Stats summarizes the store for monitoring.
+type Stats struct {
+	// Segments and Bytes cover committed, trusted segments.
+	Segments int
+	Bytes    int64
+	// Quarantined counts segments this Store moved aside: damaged or
+	// orphaned files found by recovery plus segments that failed a later
+	// Load.
+	Quarantined int
+	// Compactions counts segments evicted by the size/count bounds.
+	Compactions int
+}
+
+// manifestOp is one journal line.
+type manifestOp struct {
+	// Op is "put" (segment committed), "touch" (LRU bump) or "del"
+	// (segment evicted/quarantined).
+	Op          string          `json:"op"`
+	Fingerprint string          `json:"fp"`
+	Segment     string          `json:"segment,omitempty"`
+	Records     int             `json:"records,omitempty"`
+	Bytes       int64           `json:"bytes,omitempty"`
+	Meta        json.RawMessage `json:"meta,omitempty"`
+}
+
+// Store is the durable characterization store. All methods are safe for
+// concurrent use.
+type Store struct {
+	opts Options
+
+	mu          sync.Mutex
+	manifest    *os.File
+	bw          *bufio.Writer
+	entries     map[string]*Entry
+	seq         uint64
+	ops         int // journal lines since the last rewrite
+	quarantined int
+	compactions int
+	closed      bool
+}
+
+// Open opens (creating if necessary) the store at opts.Dir and runs crash
+// recovery: the manifest is replayed with prefix salvage, orphaned and
+// damaged segments are quarantined, and every surviving entry's segment is
+// verified record for record. The bounds in opts are enforced immediately,
+// so reopening with tighter limits compacts on the spot.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: no directory")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", opts.Dir, err)
+	}
+	s := &Store{opts: opts, entries: make(map[string]*Entry)}
+
+	dirty, err := s.replayManifest()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.sweepDir(&dirty); err != nil {
+		return nil, err
+	}
+	if err := s.verifySegments(&dirty); err != nil {
+		return nil, err
+	}
+
+	// Rewrite the journal when recovery changed the picture or churn has
+	// bloated it past twice the live entry count; otherwise append.
+	if dirty || s.journalBloatedLocked() {
+		if err := s.rewriteManifest(); err != nil {
+			return nil, err
+		}
+	}
+	if s.manifest == nil {
+		f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: open manifest: %w", err)
+		}
+		s.manifest = f
+		s.bw = bufio.NewWriter(f)
+	}
+	s.mu.Lock()
+	err = s.compactLocked()
+	s.mu.Unlock()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.opts.Dir, manifestName) }
+
+// segName is the canonical segment file name for a fingerprint.
+func segName(fp string) string { return segPrefix + fp + segSuffix }
+
+// validFingerprint keeps fingerprints path-safe: they become file names.
+func validFingerprint(fp string) error {
+	if fp == "" {
+		return errors.New("store: empty fingerprint")
+	}
+	for _, r := range fp {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("store: fingerprint %q is not path-safe", fp)
+		}
+	}
+	return nil
+}
+
+// replayManifest rebuilds the index from the journal, salvaging the intact
+// prefix of a crash-damaged file. dirty reports whether the on-disk journal
+// no longer matches the index (salvage happened).
+func (s *Store) replayManifest() (dirty bool, err error) {
+	data, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: read manifest: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var op manifestOp
+		if uerr := json.Unmarshal([]byte(line), &op); uerr != nil {
+			// A crash mid-append truncates the final line; anything
+			// unparseable mid-file means the journal beyond it cannot be
+			// trusted either. Keep the intact prefix, drop the rest.
+			return true, nil
+		}
+		s.ops++
+		switch op.Op {
+		case "put":
+			s.seq++
+			s.entries[op.Fingerprint] = &Entry{
+				Fingerprint: op.Fingerprint,
+				Segment:     op.Segment,
+				Records:     op.Records,
+				Bytes:       op.Bytes,
+				Meta:        op.Meta,
+				seq:         s.seq,
+			}
+		case "touch":
+			if e := s.entries[op.Fingerprint]; e != nil {
+				s.seq++
+				e.seq = s.seq
+			}
+		case "del":
+			delete(s.entries, op.Fingerprint)
+		}
+	}
+	// A journal not ending in a newline had its tail torn off even if the
+	// bytes so far parsed.
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		return true, nil
+	}
+	return false, nil
+}
+
+// sweepDir quarantines crash debris: .tmp segments from campaigns that
+// never committed, and committed-looking segments the manifest does not
+// claim (a crash between rename and manifest append).
+func (s *Store) sweepDir(dirty *bool) error {
+	claimed := make(map[string]bool, len(s.entries))
+	for _, e := range s.entries {
+		claimed[e.Segment] = true
+	}
+	names, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", s.opts.Dir, err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || name == manifestName {
+			continue
+		}
+		orphanTmp := strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, tmpSuffix)
+		orphanSeg := strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) && !claimed[name]
+		if !orphanTmp && !orphanSeg {
+			continue
+		}
+		if err := s.quarantine(name); err != nil {
+			return err
+		}
+		if orphanSeg {
+			*dirty = true
+		}
+	}
+	return nil
+}
+
+// verifySegments re-parses every claimed segment and drops (quarantining)
+// any that no longer match their manifest line — the truncated-tail case
+// the acceptance criteria name.
+func (s *Store) verifySegments(dirty *bool) error {
+	for fp, e := range s.entries {
+		path := filepath.Join(s.opts.Dir, e.Segment)
+		ok := func() bool {
+			fi, err := os.Stat(path)
+			if err != nil || fi.Size() != e.Bytes {
+				return false
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return false
+			}
+			defer f.Close()
+			recs, err := core.ParseLog(f)
+			return err == nil && len(recs) == e.Records
+		}()
+		if ok {
+			continue
+		}
+		if _, err := os.Stat(path); err == nil {
+			if err := s.quarantine(e.Segment); err != nil {
+				return err
+			}
+		}
+		delete(s.entries, fp)
+		*dirty = true
+	}
+	return nil
+}
+
+// quarantine moves a file under quarantine/, uniquifying the target name
+// so repeated recoveries never clobber earlier evidence.
+func (s *Store) quarantine(name string) error {
+	src := filepath.Join(s.opts.Dir, name)
+	dst := filepath.Join(s.opts.Dir, quarantineDir, name)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.opts.Dir, quarantineDir, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", name, err)
+	}
+	s.quarantined++
+	return nil
+}
+
+// rewriteManifest atomically replaces the journal with one put line per
+// live entry, in LRU order. The replacement is built completely before
+// the old handle is released, so a failure partway leaves the old journal
+// open and untouched; every put/del it replaces was fsync'd at append
+// time, and buffered residue can only be advisory touches.
+func (s *Store) rewriteManifest() error {
+	tmp := s.manifestPath() + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: rewrite manifest: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, e := range s.sortedEntries() {
+		if err := enc.Encode(manifestOp{
+			Op: "put", Fingerprint: e.Fingerprint, Segment: e.Segment,
+			Records: e.Records, Bytes: e.Bytes, Meta: e.Meta,
+		}); err != nil {
+			f.Close()
+			return fmt.Errorf("store: rewrite manifest: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: rewrite manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close manifest: %w", err)
+	}
+	if s.manifest != nil {
+		s.manifest.Close()
+		s.manifest = nil
+	}
+	if err := os.Rename(tmp, s.manifestPath()); err != nil {
+		return fmt.Errorf("store: install manifest: %w", err)
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	s.ops = len(s.entries)
+	g, err := os.OpenFile(s.manifestPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen manifest: %w", err)
+	}
+	s.manifest = g
+	s.bw = bufio.NewWriter(g)
+	return nil
+}
+
+// journalBloatedLocked reports whether touch/del churn has outgrown the
+// live entry set enough to warrant a rewrite. Callers hold s.mu.
+func (s *Store) journalBloatedLocked() bool {
+	return s.ops > 2*len(s.entries)+64
+}
+
+// sortedEntries returns the live entries least-recently-used first.
+func (s *Store) sortedEntries() []*Entry {
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// appendOpLocked journals one operation. fsync only when asked: puts and
+// dels must be durable before they take effect, touches are advisory (a
+// crash loses at most recency, never records).
+func (s *Store) appendOpLocked(op manifestOp, sync bool) error {
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.manifest == nil {
+		// A failed journal rewrite could not reopen the manifest; fail
+		// loudly rather than journaling into the void.
+		return errors.New("store: manifest unavailable")
+	}
+	data, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encode manifest op: %w", err)
+	}
+	if _, err := s.bw.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("store: append manifest: %w", err)
+	}
+	s.ops++
+	if !sync {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush manifest: %w", err)
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return fmt.Errorf("store: sync manifest: %w", err)
+	}
+	return nil
+}
+
+// Writer streams one campaign's records into an uncommitted segment. It
+// implements core.Sink, so it can ride the existing sink fan-out. Exactly
+// one of Commit or Abort must be called.
+type Writer struct {
+	st      *Store
+	fp      string
+	f       *os.File
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	records int
+	bytes   int64
+	done    bool
+}
+
+// Begin opens a segment writer for a fingerprint. The segment becomes
+// visible (and durable) only at Commit; a crash before that leaves .tmp
+// debris that the next Open quarantines.
+func (s *Store) Begin(fp string) (*Writer, error) {
+	if err := validFingerprint(fp); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, errors.New("store: closed")
+	}
+	path := filepath.Join(s.opts.Dir, segName(fp)+tmpSuffix)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: begin segment %s: %w", fp, err)
+	}
+	w := &Writer{st: s, fp: fp, f: f, bw: bufio.NewWriter(f)}
+	w.enc = json.NewEncoder(&countingWriter{w: w.bw, n: &w.bytes})
+	return w, nil
+}
+
+// Record implements core.Sink: one JSON line per run record, the same
+// bytes the live stream carries.
+func (w *Writer) Record(rec core.RunRecord) error {
+	if w.done {
+		return errors.New("store: segment writer already finished")
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("store: write record: %w", err)
+	}
+	w.records++
+	return nil
+}
+
+var _ core.Sink = (*Writer)(nil)
+
+// Commit makes the segment durable and indexes it under the fingerprint:
+// flush + fsync the segment, rename it into place, fsync the directory,
+// then journal the put (fsync'd) with the caller's opaque meta. A commit
+// may trigger compaction of older segments.
+func (w *Writer) Commit(meta json.RawMessage) error {
+	if w.done {
+		return errors.New("store: segment writer already finished")
+	}
+	w.done = true
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: flush segment: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: sync segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	s, name := w.st, segName(w.fp)
+	final := filepath.Join(s.opts.Dir, name)
+	if err := os.Rename(final+tmpSuffix, final); err != nil {
+		return fmt.Errorf("store: install segment: %w", err)
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendOpLocked(manifestOp{
+		Op: "put", Fingerprint: w.fp, Segment: name,
+		Records: w.records, Bytes: w.bytes, Meta: meta,
+	}, true); err != nil {
+		return err
+	}
+	s.seq++
+	s.entries[w.fp] = &Entry{
+		Fingerprint: w.fp, Segment: name,
+		Records: w.records, Bytes: w.bytes, Meta: meta, seq: s.seq,
+	}
+	return s.compactLocked()
+}
+
+// Abort discards the uncommitted segment.
+func (w *Writer) Abort() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.f.Close()
+	path := filepath.Join(w.st.opts.Dir, segName(w.fp)+tmpSuffix)
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: abort segment: %w", err)
+	}
+	return nil
+}
+
+// Get returns the entry for a fingerprint, if committed.
+func (s *Store) Get(fp string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[fp]
+	if e == nil {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries snapshots every committed entry, least-recently-used first —
+// the order a warm-loading registry should admit them in, so its own LRU
+// clock ends up agreeing with the store's.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sorted := s.sortedEntries()
+	out := make([]Entry, 0, len(sorted))
+	for _, e := range sorted {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// Load reads a fingerprint's records back, verifying the segment against
+// its manifest line. A segment that fails verification here (damaged after
+// boot) is quarantined and its entry dropped, so the caller can fall back
+// to re-running the campaign. A failure to even open the segment is
+// treated as transient (fd exhaustion, permissions): the entry survives,
+// because forgetting a durable characterization over a retryable error
+// would force exactly the re-run the store exists to prevent. Loading
+// counts as a use for the LRU order.
+func (s *Store) Load(fp string) ([]core.RunRecord, error) {
+	s.mu.Lock()
+	e := s.entries[fp]
+	s.mu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("store: unknown fingerprint %s", fp)
+	}
+	f, err := os.Open(filepath.Join(s.opts.Dir, e.Segment))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: load %s: %w", fp, err)
+	}
+	var recs []core.RunRecord
+	if err == nil {
+		recs, err = core.ParseLog(f)
+		f.Close()
+		if err == nil && len(recs) != e.Records {
+			err = fmt.Errorf("store: segment %s holds %d records, manifest says %d", e.Segment, len(recs), e.Records)
+		}
+	}
+	if err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, statErr := os.Stat(filepath.Join(s.opts.Dir, e.Segment)); statErr == nil {
+			if qerr := s.quarantine(e.Segment); qerr != nil {
+				return nil, qerr
+			}
+		}
+		delete(s.entries, fp)
+		if derr := s.appendOpLocked(manifestOp{Op: "del", Fingerprint: fp}, true); derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("store: load %s: %w", fp, err)
+	}
+	s.Touch(fp)
+	return recs, nil
+}
+
+// Touch bumps a fingerprint's LRU clock. The journal line is buffered, not
+// fsync'd: losing recency in a crash is harmless. Touches are the only
+// unbounded journal traffic (one per cache hit on a hot store-backed
+// fingerprint, for the daemon's whole lifetime), so this is also where the
+// journal is compacted in-process once churn outgrows the entry set —
+// waiting for the next Open would let it grow without limit.
+func (s *Store) Touch(fp string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[fp]
+	if e == nil || s.closed {
+		return
+	}
+	s.seq++
+	e.seq = s.seq
+	_ = s.appendOpLocked(manifestOp{Op: "touch", Fingerprint: fp}, false)
+	if s.journalBloatedLocked() {
+		// Best effort: a failed rewrite leaves the old journal appendable
+		// and only advisory recency at risk.
+		_ = s.rewriteManifest()
+	}
+}
+
+// compactLocked evicts least-recently-used segments until the configured
+// bounds hold. The most recent entry survives its own commit even when it
+// alone exceeds MaxBytes. Callers hold s.mu.
+func (s *Store) compactLocked() error {
+	if s.opts.MaxSegments <= 0 && s.opts.MaxBytes <= 0 {
+		return nil
+	}
+	for len(s.entries) > 1 {
+		var total int64
+		for _, e := range s.entries {
+			total += e.Bytes
+		}
+		over := (s.opts.MaxSegments > 0 && len(s.entries) > s.opts.MaxSegments) ||
+			(s.opts.MaxBytes > 0 && total > s.opts.MaxBytes)
+		if !over {
+			return nil
+		}
+		victim := s.sortedEntries()[0]
+		if err := os.Remove(filepath.Join(s.opts.Dir, victim.Segment)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("store: compact %s: %w", victim.Segment, err)
+		}
+		delete(s.entries, victim.Fingerprint)
+		s.compactions++
+		if err := s.appendOpLocked(manifestOp{Op: "del", Fingerprint: victim.Fingerprint}, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Quarantined: s.quarantined, Compactions: s.compactions}
+	for _, e := range s.entries {
+		st.Segments++
+		st.Bytes += e.Bytes
+	}
+	return st
+}
+
+// Close flushes and fsyncs the manifest and releases it. Segment writers
+// still in flight are unaffected (their Commit will fail cleanly).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.manifest == nil {
+		return nil
+	}
+	var err error
+	if ferr := s.bw.Flush(); ferr != nil {
+		err = ferr
+	}
+	if serr := s.manifest.Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	if cerr := s.manifest.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	s.manifest = nil
+	if err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w *bufio.Writer
+	n *int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// syncDir fsyncs a directory so a just-renamed file's name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	// Some filesystems reject fsync on directories; the rename is still
+	// atomic there, so degrade silently rather than failing the commit.
+	_ = d.Sync()
+	return d.Close()
+}
