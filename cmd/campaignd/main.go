@@ -7,8 +7,8 @@
 // Usage:
 //
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
-//	          [-cache-max N] [-store-dir dir] [-store-max N]
-//	          [-drain-timeout d]
+//	          [-cache-max N] [-store-dir dir] [-store-max N] [-warm-load N]
+//	          [-drain-timeout d] [-pprof-addr host:port]
 //
 // With -store-dir the daemon is durable: every finished campaign's record
 // stream is committed to an on-disk segment store, a restarted daemon
@@ -16,6 +16,19 @@
 // manifest, and resubmissions of characterizations measured by an earlier
 // process replay from disk without re-running the grid. -store-max bounds
 // the store (segments; LRU-compacted past the bound).
+//
+// A huge store does not slow the boot: the registry warm-loads at most
+// -warm-load manifest entries (default: -cache-max) and pages the rest in
+// on first demand; GET /stats reports the split and the boot time under
+// "store"."boot".
+//
+// With -pprof-addr the daemon exposes net/http/pprof on a SEPARATE
+// listener (off by default), so fleet operators can profile a live daemon
+// — CPU, heap, contention — without exposing the debug surface on the
+// service port. Bind it to localhost:
+//
+//	campaignd -addr :8080 -pprof-addr 127.0.0.1:6060 &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // The daemon prints the bound address on startup (use -addr 127.0.0.1:0
 // to pick a free port) and shuts down gracefully on SIGINT/SIGTERM: new
@@ -39,6 +52,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,7 +84,9 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	cacheMax := fs.Int("cache-max", 256, "characterization cache bound: finished campaigns retained before LRU eviction")
 	storeDir := fs.String("store-dir", "", "durable store directory: persist finished campaigns and replay them across restarts")
 	storeMax := fs.Int("store-max", 0, "durable store bound (segments, LRU-compacted); 0 = unbounded")
+	warmLoad := fs.Int("warm-load", 0, "manifest entries adopted eagerly at boot; the rest page in on demand (0 = -cache-max)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns to finish and commit")
+	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this separate listener (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -80,6 +96,9 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	if *storeMax != 0 && *storeDir == "" {
 		return errors.New("-store-max needs -store-dir")
 	}
+	if *warmLoad != 0 && *storeDir == "" {
+		return errors.New("-warm-load needs -store-dir")
+	}
 
 	srv, err := serve.New(serve.Options{
 		QueueDepth:       *queue,
@@ -87,6 +106,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		CacheMax:         *cacheMax,
 		StoreDir:         *storeDir,
 		StoreMaxSegments: *storeMax,
+		WarmLoad:         *warmLoad,
 	})
 	if err != nil {
 		return err
@@ -94,6 +114,27 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	defer srv.Close()
 	if *storeDir != "" {
 		fmt.Fprintf(w, "campaignd durable store at %s\n", *storeDir)
+	}
+
+	if *pprofAddr != "" {
+		// The profiling surface lives on its own mux and listener: it must
+		// never be reachable through the service port, and the default
+		// http.DefaultServeMux (where net/http/pprof self-registers on
+		// import) is deliberately not used anywhere in this binary.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pmux}
+		go ps.Serve(pln)
+		defer ps.Close()
+		fmt.Fprintf(w, "campaignd pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	if *spool != "" {

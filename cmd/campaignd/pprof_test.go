@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPprofListener pins the -pprof-addr satellite: the profiling surface
+// comes up on its own listener, serves the pprof index and a profile
+// endpoint, and is NOT reachable through the service port.
+func TestPprofListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncWriter
+	addr, done := startDaemon(t, ctx, &out, []string{
+		"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0",
+	})
+
+	// The pprof line prints before the service listener comes up, so it is
+	// already in the log once startDaemon returns.
+	re := regexp.MustCompile(`campaignd pprof on http://([^/\s]+)/`)
+	m := re.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("pprof address never printed; log:\n%s", out.String())
+	}
+	paddr := m[1]
+
+	resp, err := http.Get("http://" + paddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "campaignd") {
+		t.Errorf("pprof cmdline = %q, want the test binary's argv", body)
+	}
+
+	// The debug surface must not leak onto the service port. (startDaemon
+	// already returns a full http:// URL.)
+	resp, err = http.Get(addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("service port served /debug/pprof/ with status %d, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+// TestPprofDisabledByDefault pins the off-by-default contract.
+func TestPprofDisabledByDefault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncWriter
+	_, done := startDaemon(t, ctx, &out, []string{"-addr", "127.0.0.1:0"})
+	if strings.Contains(out.String(), "pprof") {
+		t.Error("pprof listener started without -pprof-addr")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}

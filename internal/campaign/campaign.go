@@ -29,7 +29,13 @@
 // The one stateful instrument on the board is the EM probe (its measurement
 // noise stream advances per sample). Shards that craft viruses through the
 // probe must request a pristine board with Fresh: true; plain Vmin/scan/run
-// shards may share a cached per-worker board, which amortizes fabrication.
+// shards draw boards from the campaign's shared fleet pool — a reservoir of
+// idle servers keyed by (corner, seed) that any worker can check a board
+// out of and return to, so N workers never build the same board N times.
+// The expensive part of fabrication itself (the die's threshold parameters
+// and the DRAM weak-cell population) is amortized even further: it lives in
+// process-wide fab pools inside internal/silicon and internal/dram, shared
+// by every campaign, shard and daemon submission in the process.
 package campaign
 
 import (
@@ -137,8 +143,9 @@ type Ctx struct {
 
 	board    Board
 	baseSeed uint64
-	cache    map[boardKey]*xgene.Server
+	pool     *boardPool
 	fleetSrv []*xgene.Server
+	fleetKey []boardKey
 	fleetFW  []*core.Framework
 	planned  int
 }
@@ -146,9 +153,9 @@ type Ctx struct {
 // FleetBoard returns the i-th board of the shard's fleet and its framework,
 // fabricating it on first use. Board 0 is the shard's Server/Framework;
 // boards above 0 are distinct chips of the same corner, fabricated from
-// FleetBoardSeed-derived seeds and reused through the worker's board cache
-// (unless the shard asked for Fresh boards). Frameworks are per-shard: the
-// records a fleet board accumulates here feed this shard's Result only.
+// FleetBoardSeed-derived seeds and drawn from the campaign's shared board
+// pool (unless the shard asked for Fresh boards). Frameworks are per-shard:
+// the records a fleet board accumulates here feed this shard's Result only.
 func (c *Ctx) FleetBoard(i int) (*xgene.Server, *core.Framework, error) {
 	// Errors carry the board context only; the shard prefix is applied
 	// once by the engine when the error surfaces from Shard.Run.
@@ -165,8 +172,8 @@ func (c *Ctx) FleetBoard(i int) (*xgene.Server, *core.Framework, error) {
 	}
 	var srv *xgene.Server
 	key := boardKey{corner: corner, seed: seed}
-	if !c.board.Fresh {
-		srv = c.cache[key]
+	if !c.board.Fresh && c.pool != nil {
+		srv = c.pool.acquire(key)
 	}
 	if srv == nil {
 		var err error
@@ -174,15 +181,15 @@ func (c *Ctx) FleetBoard(i int) (*xgene.Server, *core.Framework, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("fab fleet board %d: %w", i, err)
 		}
-		if !c.board.Fresh && c.cache != nil {
-			c.cache[key] = srv
-		}
 	}
 	fw, err := core.NewFramework(srv)
 	if err != nil {
+		// A board without a framework is of no use to anyone; let the
+		// pool re-fabricate rather than pooling it half-initialized.
 		return nil, nil, fmt.Errorf("fleet board %d: %w", i, err)
 	}
 	c.fleetSrv[i] = srv
+	c.fleetKey[i] = key
 	c.fleetFW[i] = fw
 	return srv, fw, nil
 }
@@ -347,10 +354,50 @@ func ShardSeed(campaignSeed uint64, name string) uint64 {
 	return xrand.New(campaignSeed).Split("campaign/shard/" + name).Uint64()
 }
 
-// boardKey identifies a reusable board in a worker's cache.
+// boardKey identifies a reusable board in the shared fleet pool.
 type boardKey struct {
 	corner silicon.Corner
 	seed   uint64
+}
+
+// boardPool is the campaign's shared reservoir of idle simulated servers.
+// Any worker checks boards out for the duration of one shard and returns
+// them afterwards, so the same (corner, seed) board shell is built once per
+// concurrently-running shard that needs it — not once per worker, as the
+// old per-worker caches did. Checked-out boards are exclusively owned,
+// which preserves the engine's lock-free simulation: the pool's mutex only
+// guards the free lists. Reuse is sound for the same reason per-worker
+// reuse was: runs are history-independent and the framework re-applies the
+// full setup before every run, so which shard previously used a board can
+// never change results (pinned by the worker-count determinism tests).
+type boardPool struct {
+	mu   sync.Mutex
+	free map[boardKey][]*xgene.Server
+}
+
+func newBoardPool() *boardPool {
+	return &boardPool{free: make(map[boardKey][]*xgene.Server)}
+}
+
+// acquire checks out an idle board, or returns nil when the caller must
+// fabricate one.
+func (p *boardPool) acquire(key boardKey) *xgene.Server {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.free[key]
+	if n := len(list); n > 0 {
+		srv := list[n-1]
+		p.free[key] = list[:n-1]
+		return srv
+	}
+	return nil
+}
+
+// release returns a board to the reservoir once its shard is done with it.
+func (p *boardPool) release(key boardKey, srv *xgene.Server) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free[key] = append(p.free[key], srv)
 }
 
 // streamer is the ordering buffer behind Config.Sink: workers report
@@ -448,15 +495,15 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 	results := make([]Result[T], len(shards))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	// Workers share one board pool; a checked-out board belongs to exactly
+	// one shard at a time, so the simulation itself still runs lock-free.
+	pool := newBoardPool()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns its boards; nothing is shared across
-			// goroutines, so no locks guard the simulation itself.
-			boards := make(map[boardKey]*xgene.Server)
 			for i := range jobs {
-				results[i] = runShard(cfg, i, shards[i], boards)
+				results[i] = runShard(cfg, i, shards[i], pool)
 				stream.complete(i, results[i].Records)
 			}
 		}()
@@ -505,9 +552,11 @@ dispatch:
 	return rep, err
 }
 
-// runShard executes one shard on the calling worker, fabricating or reusing
-// its fleet's boards and wrapping each with a fresh framework.
-func runShard[T any](cfg Config, idx int, sh Shard[T], boards map[boardKey]*xgene.Server) Result[T] {
+// runShard executes one shard on the calling worker, checking its fleet's
+// boards out of the shared pool (or fabricating them) and wrapping each
+// with a fresh framework; the boards return to the pool when the shard is
+// done.
+func runShard[T any](cfg Config, idx int, sh Shard[T], pool *boardPool) Result[T] {
 	res := Result[T]{Name: sh.Name, Index: idx}
 	boardSeed := sh.Board.Seed
 	if boardSeed == 0 {
@@ -525,8 +574,9 @@ func runShard[T any](cfg Config, idx int, sh Shard[T], boards map[boardKey]*xgen
 		Boards:       fleet,
 		board:        sh.Board,
 		baseSeed:     boardSeed,
-		cache:        boards,
+		pool:         pool,
 		fleetSrv:     make([]*xgene.Server, fleet),
+		fleetKey:     make([]boardKey, fleet),
 		fleetFW:      make([]*core.Framework, fleet),
 	}
 	var err error
@@ -554,5 +604,14 @@ func runShard[T any](cfg Config, idx int, sh Shard[T], boards map[boardKey]*xgen
 		elapsed += fw.Elapsed()
 	}
 	res.Stats = statsOf(res.Records, elapsed, ctx.planned)
+	// Return the fleet to the pool for the next shard that wants these
+	// boards. Fresh boards carry advanced instrument state and never pool.
+	if pool != nil && !sh.Board.Fresh {
+		for i, srv := range ctx.fleetSrv {
+			if srv != nil {
+				pool.release(ctx.fleetKey[i], srv)
+			}
+		}
+	}
 	return res
 }

@@ -26,6 +26,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/simcache"
 	"repro/internal/xrand"
 )
 
@@ -175,38 +176,89 @@ type device struct {
 	banks []bank
 }
 
-// Module is the full fabricated memory system.
-type Module struct {
-	cfg Config
-	// dimmTempC is the current regulated temperature of each DIMM.
-	dimmTempC []float64
+// fabric is the immutable product of fabrication: the materialized
+// weak-cell population of every device. It is a pure function of
+// (config, seed) and is never written after fabricate returns, so every
+// Module of the same population — across servers, workers and campaigns —
+// shares one fabric through the process-wide fab pool below.
+type fabric struct {
 	// devices indexed [dimm][rank][dev].
-	devices [][][]*device
-
+	devices   [][][]*device
 	weakTotal int
 }
 
+// fabKey identifies a fabric. Config is a plain value type (geometry ints,
+// retention floats, a duration), so the whole key is comparable.
+type fabKey struct {
+	cfg  Config
+	seed uint64
+}
+
+// fabPoolCap bounds the fab pool: a fleet campaign's distinct boards are
+// at most a few dozen, and one 32 GB-class fabric holds ~240k weak cells
+// (~8 MB), so the bound keeps worst-case retention far below what the
+// per-worker Server caches used to pin anyway.
+const fabPoolCap = 32
+
+var fabPool = simcache.NewMemo[fabKey, *fabric](fabPoolCap)
+
+// Module is the full fabricated memory system: a shared immutable fabric
+// plus this module's mutable testbed state (per-DIMM temperatures).
+type Module struct {
+	cfg Config
+	fab *fabric
+	// dimmTempC is the current regulated temperature of each DIMM.
+	dimmTempC []float64
+}
+
 // NewModule fabricates a memory system. The same (config, seed) always
-// produces the identical weak-cell population.
+// produces the identical weak-cell population; the expensive tail-cell
+// materialization runs at most once per process per (config, seed) — every
+// further NewModule call wraps the pooled fabric in a fresh mutable shell.
 func NewModule(cfg Config, seed uint64) (*Module, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	fab, err := fabPool.Get(fabKey{cfg: cfg, seed: seed}, func() (*fabric, error) {
+		return fabricate(cfg, seed), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		cfg:       cfg,
+		fab:       fab,
+		dimmTempC: make([]float64, cfg.Geometry.DIMMs),
+	}
+	for d := range m.dimmTempC {
+		m.dimmTempC[d] = 30 // ambient until the testbed sets a target
+	}
+	return m, nil
+}
+
+// FabStats exposes the fab pool's traffic (misses = fabrications actually
+// performed) for tests and benchmarks.
+func FabStats() simcache.Stats { return fabPool.Stats() }
+
+// FabReset empties the fab pool (tests and cold-path benchmarks).
+func FabReset() { fabPool.Reset() }
+
+// fabricate materializes the weak-cell population of a validated config.
+func fabricate(cfg Config, seed uint64) *fabric {
 	root := xrand.New(seed).Split("dram/fab")
 	g := cfg.Geometry
 	r := cfg.Retention
 
 	// Expected weak cells per device bank: bits * A * TailCap^Beta.
 	lambda := float64(g.BitsPerBank()) * r.DensityA * math.Pow(r.TailCapS, r.Beta)
+	// The tail sampler's exponent is loop-invariant, so the per-cell
+	// inverse-CDF draw u^(1/Beta) reduces to exp(invBeta*log(u)) — the
+	// same decomposition math.Pow performs internally, minus Pow's
+	// per-call special-case handling for the general (x, y) domain, which
+	// the sampler's u in (0,1), fixed positive exponent never needs.
+	invBeta := 1 / r.Beta
 
-	m := &Module{
-		cfg:       cfg,
-		dimmTempC: make([]float64, g.DIMMs),
-		devices:   make([][][]*device, g.DIMMs),
-	}
-	for d := range m.dimmTempC {
-		m.dimmTempC[d] = 30 // ambient until the testbed sets a target
-	}
+	f := &fabric{devices: make([][][]*device, g.DIMMs)}
 	// Bank-address-dependent density variation shared across devices
 	// (array layout/peripheral differences by bank position); this is the
 	// systematic component behind Table I's bank-to-bank spread that
@@ -217,9 +269,9 @@ func NewModule(cfg Config, seed uint64) (*Module, error) {
 		bankIdxMult[i] = math.Exp(bankIdxRng.NormMS(0, 0.04))
 	}
 	for di := 0; di < g.DIMMs; di++ {
-		m.devices[di] = make([][]*device, g.RanksPerDIMM)
+		f.devices[di] = make([][]*device, g.RanksPerDIMM)
 		for ri := 0; ri < g.RanksPerDIMM; ri++ {
-			m.devices[di][ri] = make([]*device, g.DevicesPerRank)
+			f.devices[di][ri] = make([]*device, g.DevicesPerRank)
 			for vi := 0; vi < g.DevicesPerRank; vi++ {
 				dev := &device{banks: make([]bank, g.BanksPerDevice)}
 				devRng := root.Split(fmt.Sprintf("dev/%d/%d/%d", di, ri, vi))
@@ -231,7 +283,7 @@ func NewModule(cfg Config, seed uint64) (*Module, error) {
 					cells := make([]WeakCell, 0, n)
 					for k := 0; k < n; k++ {
 						// Inverse-CDF sample of the t^beta tail on (0, cap].
-						ret := r.TailCapS * math.Pow(devRng.Float64(), 1/r.Beta)
+						ret := r.TailCapS * math.Exp(invBeta*math.Log(devRng.Float64()))
 						cells = append(cells, WeakCell{
 							Row:        uint32(devRng.Intn(g.RowsPerBank)),
 							Col:        uint16(devRng.Intn(g.ColsPerRow)),
@@ -243,20 +295,20 @@ func NewModule(cfg Config, seed uint64) (*Module, error) {
 						})
 					}
 					dev.banks[bi] = bank{weak: cells}
-					m.weakTotal += n
+					f.weakTotal += n
 				}
-				m.devices[di][ri][vi] = dev
+				f.devices[di][ri][vi] = dev
 			}
 		}
 	}
-	return m, nil
+	return f
 }
 
 // Config returns the module's configuration.
 func (m *Module) Config() Config { return m.cfg }
 
 // WeakCellCount returns the total number of materialized tail cells.
-func (m *Module) WeakCellCount() int { return m.weakTotal }
+func (m *Module) WeakCellCount() int { return m.fab.weakTotal }
 
 // SetDIMMTemp sets the regulated temperature of one DIMM (both ranks).
 func (m *Module) SetDIMMTemp(dimm int, tempC float64) error {

@@ -157,7 +157,7 @@ func (m *Module) collectFailures(p Pattern, trefp time.Duration, runSeed uint64,
 		temp := m.dimmTempC[di]
 		for ri := 0; ri < g.RanksPerDIMM; ri++ {
 			for vi := 0; vi < g.DevicesPerRank; vi++ {
-				dev := m.devices[di][ri][vi]
+				dev := m.fab.devices[di][ri][vi]
 				for bi := range dev.banks {
 					for _, c := range dev.banks[bi].weak {
 						key := cellKey(di, ri, vi, bi, c)

@@ -74,6 +74,11 @@ func (c Class) String() string {
 	}
 }
 
+// NumClasses is the number of distinct instruction classes — the length of
+// Classes(). Exported so mix-keyed memo tables (internal/simcache) can use
+// a fixed-size, comparable array representation.
+const NumClasses = numClasses
+
 // Valid reports whether c is a known instruction class.
 func (c Class) Valid() bool { return c >= NOP && int(c) <= numClasses }
 

@@ -10,6 +10,7 @@ package microarch
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // CacheConfig describes one cache level.
@@ -23,6 +24,9 @@ type CacheConfig struct {
 func (c CacheConfig) Validate() error {
 	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
 		return errors.New("microarch: cache dimensions must be positive")
+	}
+	if c.Ways > 64 {
+		return errors.New("microarch: more than 64 ways unsupported")
 	}
 	if c.LineBytes&(c.LineBytes-1) != 0 {
 		return errors.New("microarch: line size must be a power of two")
@@ -38,16 +42,34 @@ func (c CacheConfig) Validate() error {
 }
 
 // Cache is a set-associative cache with true-LRU replacement.
+//
+// Storage is flat and contiguous: tags and recency counters live in single
+// slices indexed set*ways+way, and validity is one bit per way packed into
+// a per-set word — Access touches at most three cache-adjacent arrays and
+// performs no allocation or per-call shift recomputation. Replacement
+// semantics are bit-identical to the original per-set-slice implementation
+// (first invalid way, else lowest recency tick with the lowest index
+// winning ties), which the counter-golden tests pin against pre-refactor
+// values.
 type Cache struct {
-	cfg      CacheConfig
-	sets     int
+	cfg     CacheConfig
+	sets    int
+	ways    int
+	setBits uint // precomputed uintBits(setMask): the tag shift
+	setMask uint64
+	wayMask uint64 // ways low bits set
+	// lineBits is the line-offset shift.
 	lineBits uint
-	setMask  uint64
-	// tags[set][way]; lru[set][way] holds a recency counter (higher = more
-	// recent).
-	tags  [][]uint64
-	valid [][]bool
-	lru   [][]uint64
+	// tags[set*ways+way] holds the stored tag; lru likewise holds a recency
+	// counter (higher = more recent). A slot's content is meaningful only
+	// while its validity bit is set, so Reset never has to clear either
+	// array.
+	tags []uint64
+	lru  []uint64
+	// valid[set] packs the set's way-validity bits. Ways fill lowest-first
+	// and are only cleared wholesale by Reset, so the valid ways of a set
+	// always form a prefix.
+	valid []uint64
 	tick  uint64
 
 	hits, misses uint64
@@ -63,21 +85,19 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	for 1<<lineBits < cfg.LineBytes {
 		lineBits++
 	}
-	c := &Cache{
+	setMask := uint64(sets - 1)
+	return &Cache{
 		cfg:      cfg,
 		sets:     sets,
+		ways:     cfg.Ways,
 		lineBits: lineBits,
-		setMask:  uint64(sets - 1),
-		tags:     make([][]uint64, sets),
-		valid:    make([][]bool, sets),
-		lru:      make([][]uint64, sets),
-	}
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Ways)
-		c.valid[i] = make([]bool, cfg.Ways)
-		c.lru[i] = make([]uint64, cfg.Ways)
-	}
-	return c, nil
+		setMask:  setMask,
+		setBits:  uintBits(setMask),
+		wayMask:  (uint64(1) << cfg.Ways) - 1,
+		tags:     make([]uint64, sets*cfg.Ways),
+		lru:      make([]uint64, sets*cfg.Ways),
+		valid:    make([]uint64, sets),
+	}, nil
 }
 
 // Access looks up addr, filling the line on a miss, and reports a hit.
@@ -85,34 +105,39 @@ func (c *Cache) Access(addr uint64) bool {
 	c.tick++
 	line := addr >> c.lineBits
 	set := line & c.setMask
-	tag := line >> uintBits(c.setMask)
-	tags, valid, lru := c.tags[set], c.valid[set], c.lru[set]
+	tag := line >> c.setBits
+	base := int(set) * c.ways
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	lru := c.lru[base : base+c.ways : base+c.ways]
+	valid := c.valid[set]
 	for w := range tags {
-		if valid[w] && tags[w] == tag {
+		if valid&(1<<uint(w)) != 0 && tags[w] == tag {
 			lru[w] = c.tick
 			c.hits++
 			return true
 		}
 	}
 	c.misses++
-	// Victim: first invalid way, else least recently used.
+	// Victim: first invalid way, else least recently used (lowest index on
+	// ties, matching the original scan order).
 	victim := 0
-	for w := range tags {
-		if !valid[w] {
-			victim = w
-			break
-		}
-		if lru[w] < lru[victim] {
-			victim = w
+	if free := ^valid & c.wayMask; free != 0 {
+		victim = bits.TrailingZeros64(free)
+		c.valid[set] = valid | 1<<uint(victim)
+	} else {
+		for w := 1; w < len(lru); w++ {
+			if lru[w] < lru[victim] {
+				victim = w
+			}
 		}
 	}
 	tags[victim] = tag
-	valid[victim] = true
 	lru[victim] = c.tick
 	return false
 }
 
 // uintBits returns the number of set-index bits for a mask of form 2^k-1.
+// It runs once per NewCache; Access uses the precomputed shift.
 func uintBits(mask uint64) uint {
 	n := uint(0)
 	for mask != 0 {
@@ -140,17 +165,23 @@ func (c *Cache) HitRate() float64 {
 // ResetStats clears the hit/miss counters without flushing contents.
 func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
 
-// Flush invalidates every line and clears statistics.
-func (c *Cache) Flush() {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.cfg.Ways; w++ {
-			c.valid[s][w] = false
-			c.lru[s][w] = 0
-		}
+// Reset invalidates every line and clears statistics, returning the cache
+// to its freshly constructed state. It only clears the packed validity
+// words — tag and recency slots are unreachable until their validity bit
+// is set again, and every insertion rewrites both — so resetting an 8 MB
+// L3 costs one small memclr instead of re-making megabytes of per-set
+// slices. This is what lets a Hierarchy be reused across Simulate calls.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = 0
 	}
 	c.tick = 0
 	c.ResetStats()
 }
+
+// Flush invalidates every line and clears statistics (alias of Reset, kept
+// for the original API).
+func (c *Cache) Flush() { c.Reset() }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() CacheConfig { return c.cfg }
@@ -252,10 +283,15 @@ func (h *Hierarchy) Fetch(addr uint64) Level {
 	return InMemory
 }
 
-// Flush empties all levels.
-func (h *Hierarchy) Flush() {
-	h.L1I.Flush()
-	h.L1D.Flush()
-	h.L2.Flush()
-	h.L3.Flush()
+// Reset returns every level to its freshly constructed state, so one
+// Hierarchy can serve any number of Simulate calls without re-making its
+// multi-megabyte backing arrays.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
 }
+
+// Flush empties all levels (alias of Reset, kept for the original API).
+func (h *Hierarchy) Flush() { h.Reset() }

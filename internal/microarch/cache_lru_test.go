@@ -1,0 +1,113 @@
+package microarch
+
+import "testing"
+
+// lruCfg is a tiny 4-set x 4-way cache: big enough to exercise the packed
+// validity words and flat indexing, small enough to reason about exactly.
+var lruCfg = CacheConfig{SizeBytes: 1024, LineBytes: 64, Ways: 4}
+
+// addrFor builds an address that maps to the given set with the given tag
+// under lruCfg (64 B lines => 6 offset bits, 4 sets => 2 index bits).
+func addrFor(set, tag uint64) uint64 { return tag<<8 | set<<6 }
+
+// TestCacheFillsInvalidWaysFirst pins the victim policy's first phase: a
+// set fills its ways lowest-index-first before any eviction happens, so
+// the first Ways distinct tags all miss without displacing each other.
+func TestCacheFillsInvalidWaysFirst(t *testing.T) {
+	c, err := NewCache(lruCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tag := uint64(0); tag < 4; tag++ {
+		if c.Access(addrFor(1, tag+1)) {
+			t.Fatalf("tag %d: unexpected hit while filling", tag+1)
+		}
+	}
+	// Every resident line must now hit, regardless of insertion order.
+	for tag := uint64(0); tag < 4; tag++ {
+		if !c.Access(addrFor(1, tag+1)) {
+			t.Fatalf("tag %d: filled line missed", tag+1)
+		}
+	}
+	if c.Hits() != 4 || c.Misses() != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 4/4", c.Hits(), c.Misses())
+	}
+}
+
+// TestCacheLRUEvictionOrder pins true-LRU on the flattened storage: with a
+// set full, each conflict evicts exactly the least recently used line —
+// including recency updates from hits, and lowest-index wins on the (only
+// reachable) tie of freshly reset state.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c, err := NewCache(lruCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill set 2 with tags 1..4 (ways 0..3, in order), then touch tag 1:
+	// LRU order is now 2, 3, 4, 1.
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(addrFor(2, tag))
+	}
+	if !c.Access(addrFor(2, 1)) {
+		t.Fatal("tag 1 should hit before any eviction")
+	}
+	// Tag 5 must evict tag 2 (the LRU), leaving 3, 4, 1, 5 resident.
+	if c.Access(addrFor(2, 5)) {
+		t.Fatal("tag 5: unexpected hit")
+	}
+	if c.Access(addrFor(2, 2)) {
+		t.Fatal("tag 2 should have been evicted as LRU")
+	}
+	// That re-fill of tag 2 evicted tag 3 (next LRU): 4, 1, 5, 2 resident.
+	if c.Access(addrFor(2, 3)) {
+		t.Fatal("tag 3 should have been evicted next")
+	}
+	for _, tag := range []uint64{1, 5, 2, 3} {
+		if !c.Access(addrFor(2, tag)) {
+			t.Fatalf("tag %d should still be resident", tag)
+		}
+	}
+	// Other sets were never touched: tag 1 in set 0 misses.
+	if c.Access(addrFor(0, 1)) {
+		t.Fatal("set 0 should be empty; flat indexing leaked across sets")
+	}
+}
+
+// TestCacheResetRestoresFreshState pins the cheap Reset contract: after
+// Reset, contents, tick and statistics behave exactly like a new cache,
+// even though tag/LRU slots are deliberately left stale.
+func TestCacheResetRestoresFreshState(t *testing.T) {
+	c, err := NewCache(lruCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tag := uint64(1); tag <= 6; tag++ {
+		c.Access(addrFor(3, tag))
+	}
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatalf("stats after Reset = %d/%d, want 0/0", c.Hits(), c.Misses())
+	}
+	// A pre-reset resident tag must miss, and the set must refill and
+	// evict in exactly the order a fresh cache would.
+	for tag := uint64(1); tag <= 4; tag++ {
+		if c.Access(addrFor(3, tag)) {
+			t.Fatalf("tag %d: stale line survived Reset", tag)
+		}
+	}
+	if c.Access(addrFor(3, 7)) {
+		t.Fatal("tag 7: unexpected hit")
+	}
+	if c.Access(addrFor(3, 1)) {
+		t.Fatal("tag 1 should be the post-reset LRU victim")
+	}
+}
+
+// TestCacheWaysBound pins the new configuration limit that packed validity
+// words impose.
+func TestCacheWaysBound(t *testing.T) {
+	_, err := NewCache(CacheConfig{SizeBytes: 1 << 20, LineBytes: 64, Ways: 128})
+	if err == nil {
+		t.Fatal("expected >64-way configuration to be rejected")
+	}
+}

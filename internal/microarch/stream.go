@@ -3,6 +3,7 @@ package microarch
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/xrand"
@@ -118,11 +119,25 @@ func (c Counters) DRAMBandwidthBytesPerSec(clockHz float64) float64 {
 	return float64(c.DRAMAccesses) * 64 / secs
 }
 
+// hierPool recycles X-Gene2 hierarchies across Simulate calls: a Reset
+// hierarchy is state-identical to a fresh one (pinned by the counter-golden
+// tests), and reuse avoids re-making the ~3 MB of flat tag/LRU arrays —
+// previously the dominant allocation of every simulated run.
+var hierPool = sync.Pool{New: func() any {
+	h, err := NewXGene2Hierarchy()
+	if err != nil {
+		// The fixed X-Gene2 configuration is statically valid; reaching
+		// here means the package itself is broken.
+		panic(err)
+	}
+	return h
+}}
+
 // Simulate runs nInstr instructions of a workload with the given
-// instruction mix and locality through a fresh hierarchy and returns its
-// counters. Non-memory instructions contribute their isa latency; memory
-// instructions pay the latency of the level that serves them. Results are
-// deterministic in (mix, spec, nInstr, seed).
+// instruction mix and locality through a fresh (pooled) hierarchy and
+// returns its counters. Non-memory instructions contribute their isa
+// latency; memory instructions pay the latency of the level that serves
+// them. Results are deterministic in (mix, spec, nInstr, seed).
 func Simulate(mix isa.Mix, spec StreamSpec, nInstr int, seed uint64) (Counters, error) {
 	if err := mix.Validate(); err != nil {
 		return Counters{}, err
@@ -133,22 +148,23 @@ func Simulate(mix isa.Mix, spec StreamSpec, nInstr int, seed uint64) (Counters, 
 	if nInstr <= 0 {
 		return Counters{}, errors.New("microarch: non-positive instruction count")
 	}
-	h, err := NewXGene2Hierarchy()
-	if err != nil {
-		return Counters{}, err
-	}
+	h := hierPool.Get().(*Hierarchy)
+	h.Reset()
+	defer hierPool.Put(h)
 	rng := xrand.New(seed).Split("microarch/stream")
 
 	// Memory-operation fraction: loads and stores in the mix. The mix's
 	// load level hints (LoadL1/L2/DRAM) describe the *intent* of the
 	// profile; actual service levels come from the simulated hierarchy.
 	memFrac := mix[isa.LoadL1] + mix[isa.LoadL2] + mix[isa.LoadDRAM] + mix[isa.Store]
-	// Average latency of the non-memory portion.
+	// Average latency of the non-memory portion, accumulated in fixed
+	// class order so the float sum never depends on map iteration.
 	var nonMemCPI, nonMemFrac float64
-	for class, f := range mix {
+	for _, class := range isa.Classes() {
 		switch class {
 		case isa.LoadL1, isa.LoadL2, isa.LoadDRAM, isa.Store:
 		default:
+			f := mix[class]
 			nonMemCPI += f * float64(class.Cycles())
 			nonMemFrac += f
 		}

@@ -84,6 +84,17 @@ type Options struct {
 	// unbounded.
 	StoreMaxSegments int
 	StoreMaxBytes    int64
+	// WarmLoad bounds how many manifest entries the registry adopts
+	// eagerly at boot. A store can outgrow the registry by orders of
+	// magnitude (CacheMax bounds memory, the store bounds disk), and a
+	// boot that walks a huge manifest into the registry pays for entries
+	// nobody may ever ask for — so boot adopts only the WarmLoad
+	// most-recently-used entries and defers the rest, which page in on
+	// demand: the first submission of a deferred fingerprint adopts it
+	// from the manifest index exactly as an evicted one would, replaying
+	// from disk with no re-run. Zero means CacheMax (adopting more than
+	// the registry cap would evict the excess immediately anyway).
+	WarmLoad int
 }
 
 // Server is the campaign service: registry, scheduler, cache and HTTP
@@ -112,6 +123,10 @@ type Server struct {
 	replayHits  int
 	storeErrors int
 	draining    bool
+	// Boot-time warm-load bookkeeping (see Options.WarmLoad).
+	warmLoaded   int
+	warmDeferred int
+	bootDur      time.Duration
 
 	// gate, when set (tests only), blocks execute until the channel is
 	// closed, making queue-bound behavior deterministic to observe.
@@ -120,9 +135,10 @@ type Server struct {
 
 // New builds a Server and starts its scheduler workers. With
 // Options.StoreDir set it also opens (recovering if necessary) the durable
-// store and warm-loads the registry from its manifest, least-recently-used
-// first, so the in-memory LRU order continues where the last process left
-// off.
+// store and warm-loads the registry from its manifest — at most
+// Options.WarmLoad entries, most recent last so the in-memory LRU order
+// continues where the last process left off; anything beyond the threshold
+// stays on disk and pages in on first demand.
 func New(opts Options) (*Server, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 16
@@ -133,6 +149,9 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheMax <= 0 {
 		opts.CacheMax = 256
 	}
+	if opts.WarmLoad <= 0 {
+		opts.WarmLoad = opts.CacheMax
+	}
 	s := &Server{
 		opts:  opts,
 		spool: core.NewMultiSink(),
@@ -141,6 +160,7 @@ func New(opts Options) (*Server, error) {
 		byFP:  make(map[string]*Campaign),
 	}
 	if opts.StoreDir != "" {
+		bootStart := time.Now()
 		st, err := store.Open(store.Options{
 			Dir:         opts.StoreDir,
 			MaxSegments: opts.StoreMaxSegments,
@@ -150,10 +170,21 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+		// Entries arrive least-recently-used first; adopting the most
+		// recent WarmLoad of them preserves relative LRU order, and the
+		// skipped prefix is exactly the part eviction would drop first.
+		entries := st.Entries()
+		skip := 0
+		if len(entries) > opts.WarmLoad {
+			skip = len(entries) - opts.WarmLoad
+		}
 		s.mu.Lock()
-		for _, e := range st.Entries() {
+		for _, e := range entries[skip:] {
 			s.adoptLocked(e)
 		}
+		s.warmLoaded = len(entries) - skip
+		s.warmDeferred = skip
+		s.bootDur = time.Since(bootStart)
 		s.mu.Unlock()
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
@@ -626,6 +657,17 @@ type storeStatsView struct {
 	Quarantined int `json:"quarantined"`
 	Compactions int `json:"compactions"`
 	Errors      int `json:"errors,omitempty"`
+	// Boot describes the last boot's warm-load: how many manifest entries
+	// were adopted eagerly, how many were deferred to on-demand paging
+	// (Options.WarmLoad), and how long store recovery plus warm-load took.
+	Boot bootStatsView `json:"boot"`
+}
+
+// bootStatsView is the boot-time slice of the store stats.
+type bootStatsView struct {
+	WarmLoaded int     `json:"warm_loaded"`
+	Deferred   int     `json:"deferred"`
+	BootMS     float64 `json:"boot_ms"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -651,6 +693,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Quarantined: st.Quarantined,
 			Compactions: st.Compactions,
 			Errors:      s.storeErrors,
+			Boot: bootStatsView{
+				WarmLoaded: s.warmLoaded,
+				Deferred:   s.warmDeferred,
+				BootMS:     float64(s.bootDur.Microseconds()) / 1000,
+			},
 		}
 	}
 	campaigns := append([]*Campaign(nil), s.order...)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/pdn"
+	"repro/internal/simcache"
 	"repro/internal/xrand"
 )
 
@@ -230,10 +231,44 @@ var cornerSpecs = map[Corner]cornerSpec{
 	},
 }
 
+// fabKey identifies a fabricated die in the process-wide fab pool.
+type fabKey struct {
+	corner Corner
+	seed   uint64
+}
+
+// fabPool memoizes fabrication per (corner, seed). Chips are small (a few
+// hundred bytes), so the bound is generous; Fab hands out value copies, so
+// callers that tweak a die (e.g. the resonance ablation zeroing
+// ResCoupleMV) never see each other.
+var fabPool = simcache.NewMemo[fabKey, *Chip](256)
+
 // Fab fabricates a chip of the given corner. The seed drives the small
 // within-die random variation; the same (corner, seed) pair always yields
 // an identical die. Serial numbers encode corner and seed for log files.
+// Fabrication runs at most once per process per (corner, seed); every call
+// returns its own shallow copy of the pooled die (all fields are plain
+// values), so per-server mutations stay per-server.
 func Fab(corner Corner, seed uint64) (*Chip, error) {
+	master, err := fabPool.Get(fabKey{corner: corner, seed: seed}, func() (*Chip, error) {
+		return fabricate(corner, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	chip := *master
+	return &chip, nil
+}
+
+// FabStats exposes the fab pool's traffic (misses = dies actually
+// fabricated) for tests and benchmarks.
+func FabStats() simcache.Stats { return fabPool.Stats() }
+
+// FabReset empties the fab pool (tests and cold-path benchmarks).
+func FabReset() { fabPool.Reset() }
+
+// fabricate is the uncached fabrication path behind Fab.
+func fabricate(corner Corner, seed uint64) (*Chip, error) {
 	spec, ok := cornerSpecs[corner]
 	if !ok {
 		return nil, fmt.Errorf("silicon: unknown corner %v", corner)

@@ -1,0 +1,141 @@
+// Package simcache holds the process-wide memo tables behind the
+// characterization hot path. The substrate's expensive constructions are
+// pure functions — microarch.Simulate of (mix, spec, nInstr, seed),
+// dram/silicon fabrication of (config, seed) — yet the engine used to
+// recompute them once per Server or per worker: a Vmin descent re-runs the
+// same workload at 30+ voltages, and a 16-worker fleet fabricated the same
+// board 16 times. A single bounded, concurrency-safe memo per function
+// collapses that cost to one computation per process without changing a
+// single byte of output.
+//
+// Memo is the shared machinery: a size-bounded LRU map with single-flight
+// semantics (concurrent misses on one key compute the value exactly once;
+// the losers wait). The Counters front in counters.go is the simulate memo
+// itself; internal/dram and internal/silicon build their fabrication pools
+// on Memo directly.
+package simcache
+
+import "sync"
+
+// Stats counts a memo's traffic. Hits include calls that waited on another
+// goroutine's in-flight computation of the same key.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// entry is one memoized value. ready is closed once the computing goroutine
+// has filled val/err; waiters block on it outside the memo lock.
+type entry[V any] struct {
+	ready    chan struct{}
+	val      V
+	err      error
+	lastUsed uint64
+}
+
+// Memo is a size-bounded, concurrency-safe, single-flight memo table.
+// The zero value is not usable; construct with NewMemo.
+type Memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int
+	seq     uint64
+	entries map[K]*entry[V]
+	stats   Stats
+}
+
+// NewMemo returns a memo holding at most max entries (least-recently-used
+// eviction; max <= 0 panics — an unbounded memo is a leak by construction).
+func NewMemo[K comparable, V any](max int) *Memo[K, V] {
+	if max <= 0 {
+		panic("simcache: memo bound must be positive")
+	}
+	return &Memo[K, V]{max: max, entries: make(map[K]*entry[V])}
+}
+
+// Get returns the memoized value for key, computing it with fill on the
+// first request. Concurrent Gets of one key run fill exactly once — the
+// rest wait for its result. fill runs outside the memo lock, so fills of
+// distinct keys proceed in parallel and fill may itself use other memos.
+// A failed fill is not retained: every waiter receives the error and the
+// next Get retries.
+func (m *Memo[K, V]) Get(key K, fill func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.seq++
+		e.lastUsed = m.seq
+		m.stats.Hits++
+		m.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &entry[V]{ready: make(chan struct{})}
+	m.seq++
+	e.lastUsed = m.seq
+	m.entries[key] = e
+	m.stats.Misses++
+	m.evictLocked(key)
+	m.mu.Unlock()
+
+	e.val, e.err = fill()
+	close(e.ready)
+	if e.err != nil {
+		m.mu.Lock()
+		if m.entries[key] == e {
+			delete(m.entries, key)
+		}
+		m.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// evictLocked drops least-recently-used entries until the memo fits its
+// bound. The entry being installed (keep) and entries still computing are
+// never evicted — an in-flight fill must stay discoverable so concurrent
+// requesters coalesce on it. Callers hold m.mu.
+func (m *Memo[K, V]) evictLocked(keep K) {
+	for len(m.entries) > m.max {
+		var victimKey K
+		var victim *entry[V]
+		for k, e := range m.entries {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still computing
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return // everything is in flight; transiently exceed the bound
+		}
+		delete(m.entries, victimKey)
+		m.stats.Evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats returns a snapshot of the memo's traffic counters.
+func (m *Memo[K, V]) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Reset empties the memo and zeroes its counters. Intended for tests and
+// benchmarks that need a cold table; in-flight fills complete harmlessly
+// against the old entries.
+func (m *Memo[K, V]) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[K]*entry[V])
+	m.stats = Stats{}
+}

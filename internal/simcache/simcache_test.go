@@ -1,0 +1,131 @@
+package simcache_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/simcache"
+	"repro/internal/workloads"
+)
+
+// TestCountersMatchesDirectSimulate pins the memo front against the pure
+// function it wraps: same counters, and the second lookup is a hit.
+func TestCountersMatchesDirectSimulate(t *testing.T) {
+	simcache.CountersReset()
+	for _, p := range workloads.SPEC2006()[:3] {
+		a, err := simcache.Counters(p.Mix, p.Stream, 200000, 0xC0FFEE)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		b, err := simcache.Counters(p.Mix, p.Stream, 200000, 0xC0FFEE)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if a != b {
+			t.Fatalf("%s: memo hit returned different counters", p.Name)
+		}
+	}
+	st := simcache.CountersStats()
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("stats = %+v, want 3 misses / 3 hits", st)
+	}
+}
+
+// TestCountersSharedAcrossWorkers is the memo's race test: 16 goroutines
+// hammer the same three workloads concurrently; every caller must get the
+// byte-identical counters and each workload must simulate exactly once
+// (single-flight), at any contention level.
+func TestCountersSharedAcrossWorkers(t *testing.T) {
+	profiles := workloads.SPEC2006()[:3]
+	for _, workers := range []int{1, 4, 16} {
+		simcache.CountersReset()
+		ref := make(map[string]any)
+		for _, p := range profiles {
+			c, err := simcache.Counters(p.Mix, p.Stream, 200000, 0xC0FFEE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[p.Name] = c
+		}
+		simcache.CountersReset()
+
+		var wg sync.WaitGroup
+		errs := make(chan error, workers*len(profiles)*4)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 4; rep++ {
+					for _, p := range profiles {
+						c, err := simcache.Counters(p.Mix, p.Stream, 200000, 0xC0FFEE)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if c != ref[p.Name] {
+							errs <- fmt.Errorf("%s: diverged under %d workers", p.Name, workers)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if st := simcache.CountersStats(); st.Misses != uint64(len(profiles)) {
+			t.Fatalf("workers=%d: %d simulations for %d workloads, want one each",
+				workers, st.Misses, len(profiles))
+		}
+	}
+}
+
+// TestMemoEvictsLRU pins the bound: the least-recently-used entry goes
+// first, and a re-request recomputes it.
+func TestMemoEvictsLRU(t *testing.T) {
+	m := simcache.NewMemo[int, int](2)
+	fills := 0
+	get := func(k int) int {
+		v, err := m.Get(k, func() (int, error) { fills++; return k * 10, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	get(1)
+	get(2)
+	get(1) // refresh 1; LRU is now 2
+	get(3) // evicts 2
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	get(1) // still resident
+	if fills != 3 {
+		t.Fatalf("fills = %d, want 3 (1, 2, 3)", fills)
+	}
+	get(2) // was evicted: must refill
+	if fills != 4 {
+		t.Fatalf("fills = %d, want 4 after re-requesting the evicted key", fills)
+	}
+	if st := m.Stats(); st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want at least one eviction", st)
+	}
+}
+
+// TestMemoDoesNotRetainErrors pins the failed-fill contract: every waiter
+// sees the error, and the next request retries.
+func TestMemoDoesNotRetainErrors(t *testing.T) {
+	m := simcache.NewMemo[string, int](4)
+	boom := errors.New("boom")
+	if _, err := m.Get("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := m.Get("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = (%d, %v), want (7, nil)", v, err)
+	}
+}

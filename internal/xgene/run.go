@@ -9,6 +9,7 @@ import (
 	"repro/internal/microarch"
 	"repro/internal/power"
 	"repro/internal/silicon"
+	"repro/internal/simcache"
 	"repro/internal/workloads"
 )
 
@@ -141,19 +142,21 @@ func (s *Server) activeFastCores(cores []silicon.CoreID) int {
 	return n
 }
 
-// counters returns (and caches) the performance counters of a profile; they
-// do not depend on voltage, so one cache-hierarchy simulation per workload
-// suffices for a whole undervolting campaign.
+// Simulation parameters of the counter model: every run of a profile
+// reports the counters of the same 200k-instruction simulation, matching
+// the paper's per-workload counter capture.
+const (
+	simInstructions = 200000
+	simSeed         = 0xC0FFEE
+)
+
+// counters returns the performance counters of a profile. They do not
+// depend on voltage — or on which server runs the profile — so the lookup
+// goes through the process-wide simulate memo (internal/simcache): one
+// cache-hierarchy simulation per workload serves every server, worker,
+// shard and daemon submission in the process.
 func (s *Server) counters(p workloads.Profile) (microarch.Counters, error) {
-	if c, ok := s.counterCache[p.Name]; ok {
-		return c, nil
-	}
-	c, err := microarch.Simulate(p.Mix, p.Stream, 200000, 0xC0FFEE)
-	if err != nil {
-		return microarch.Counters{}, err
-	}
-	s.counterCache[p.Name] = c
-	return c, nil
+	return simcache.Counters(p.Mix, p.Stream, simInstructions, simSeed)
 }
 
 // Run executes a workload at the current operating point and classifies

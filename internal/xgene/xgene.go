@@ -18,7 +18,6 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/em"
-	"repro/internal/microarch"
 	"repro/internal/power"
 	"repro/internal/silicon"
 	"repro/internal/xrand"
@@ -50,8 +49,6 @@ type Server struct {
 
 	// events is the SLIMpro telemetry ring buffer (see slimpro.go).
 	events []Event
-
-	counterCache map[string]microarch.Counters
 }
 
 // Options tunes server construction.
@@ -91,16 +88,15 @@ func NewServer(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("xgene: fab DRAM: %w", err)
 	}
 	s := &Server{
-		chip:         chip,
-		mem:          mem,
-		pmdVoltage:   silicon.NominalVoltage,
-		socVoltage:   silicon.NominalVoltage,
-		trefp:        cfg.NominalTREFP,
-		probe:        em.NewProbe(opts.Seed),
-		rng:          xrand.New(opts.Seed).Split("xgene/server"),
-		booted:       true,
-		boots:        1,
-		counterCache: make(map[string]microarch.Counters),
+		chip:       chip,
+		mem:        mem,
+		pmdVoltage: silicon.NominalVoltage,
+		socVoltage: silicon.NominalVoltage,
+		trefp:      cfg.NominalTREFP,
+		probe:      em.NewProbe(opts.Seed),
+		rng:        xrand.New(opts.Seed).Split("xgene/server"),
+		booted:     true,
+		boots:      1,
 	}
 	for i := range s.pmdFreqHz {
 		s.pmdFreqHz[i] = silicon.NominalFreqHz
