@@ -7,6 +7,7 @@ package guardband
 // of live result streaming; BENCH_serve.json records a measured snapshot.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -67,4 +68,34 @@ func BenchmarkStreamFig4(b *testing.B) {
 	b.Run("batch", func(b *testing.B) { runGrid(b, nil) })
 	b.Run("stream-null", func(b *testing.B) { runGrid(b, &nullSink{}) })
 	b.Run("stream-jsonl", func(b *testing.B) { runGrid(b, core.NewJSONLSink(io.Discard)) })
+}
+
+// BenchmarkStreamFanout runs the Fig. 4 grid against a broadcast sink with
+// many JSONL subscribers — the campaignd shape when a fleet of dashboards
+// tails one campaign. Under the encode-once wire path each record is
+// rendered exactly once and every subscriber receives the same shared
+// bytes, so cost per subscriber is a buffer write, not an encode: total
+// time should grow far slower than the subscriber count.
+func BenchmarkStreamFanout(b *testing.B) {
+	grid, err := fig4StreamSpec().Grid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, subs := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			hub := core.NewMultiSink()
+			for i := 0; i < subs; i++ {
+				hub.Subscribe(core.NewJSONLSink(io.Discard))
+			}
+			for i := 0; i < b.N; i++ {
+				rep, err := campaign.RunGrid(campaign.Config{Seed: DefaultSeed, Sink: hub}, grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Records) != 100 {
+					b.Fatalf("records = %d, want 100", len(rep.Records))
+				}
+			}
+		})
+	}
 }

@@ -8,14 +8,19 @@
 //
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
 //	          [-cache-max N] [-store-dir dir] [-store-max N] [-warm-load N]
-//	          [-drain-timeout d] [-pprof-addr host:port]
+//	          [-segment-format jsonl|binary] [-drain-timeout d]
+//	          [-pprof-addr host:port]
 //
 // With -store-dir the daemon is durable: every finished campaign's record
 // stream is committed to an on-disk segment store, a restarted daemon
 // pointed at the same directory warm-loads its cache from the store's
 // manifest, and resubmissions of characterizations measured by an earlier
 // process replay from disk without re-running the grid. -store-max bounds
-// the store (segments; LRU-compacted past the bound).
+// the store (segments; LRU-compacted past the bound). -segment-format
+// selects the encoding of newly committed segments: "jsonl" (default,
+// human-greppable) or "binary" (compact length-prefixed records with
+// per-record CRCs; see internal/wire). Reads auto-detect the format, so a
+// store written under one setting restarts cleanly under the other.
 //
 // A huge store does not slow the boot: the registry warm-loads at most
 // -warm-load manifest entries (default: -cache-max) and pages the rest in
@@ -60,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -85,6 +91,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	storeDir := fs.String("store-dir", "", "durable store directory: persist finished campaigns and replay them across restarts")
 	storeMax := fs.Int("store-max", 0, "durable store bound (segments, LRU-compacted); 0 = unbounded")
 	warmLoad := fs.Int("warm-load", 0, "manifest entries adopted eagerly at boot; the rest page in on demand (0 = -cache-max)")
+	segFormat := fs.String("segment-format", "", "on-disk segment encoding for new commits: jsonl (default) or binary; existing segments of either format always load")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns to finish and commit")
 	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this separate listener (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +106,13 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	if *warmLoad != 0 && *storeDir == "" {
 		return errors.New("-warm-load needs -store-dir")
 	}
+	format, err := wire.ParseFormat(*segFormat)
+	if err != nil {
+		return err
+	}
+	if *segFormat != "" && *storeDir == "" {
+		return errors.New("-segment-format needs -store-dir")
+	}
 
 	srv, err := serve.New(serve.Options{
 		QueueDepth:       *queue,
@@ -107,6 +121,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		StoreDir:         *storeDir,
 		StoreMaxSegments: *storeMax,
 		WarmLoad:         *warmLoad,
+		SegmentFormat:    format,
 	})
 	if err != nil {
 		return err

@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/silicon"
+	"repro/internal/wire"
 	"repro/internal/xgene"
 	"repro/internal/xrand"
 )
@@ -404,45 +405,82 @@ func (p *boardPool) release(key boardKey, srv *xgene.Server) {
 // shard completions in any order, and the streamer releases records to the
 // sink strictly in shard-submission order, so the live stream replays the
 // batch report byte for byte at any worker count.
+//
+// This is also the encode-once point of the whole pipeline: each worker
+// renders its shard's records into frames (shared pre-encoded JSONL lines)
+// before taking the lock, so encoding parallelizes with the campaign and
+// happens exactly once per record no matter how many subscribers hang off
+// the sink. Frame-aware sinks receive the shared bytes; a sink without the
+// Frame capability skips encoding entirely and gets the decoded records —
+// a record-counting or in-memory sink costs no serialization at all.
 type streamer struct {
-	sink core.Sink
+	sink   core.Sink
+	frames bool // sink accepts frames: encode once, share the bytes
 
 	mu      sync.Mutex
 	next    int
 	done    []bool
 	pending [][]core.RunRecord
+	encoded [][]core.Frame
 	err     error
 }
 
 func newStreamer(sink core.Sink, shards int) *streamer {
+	_, frames := sink.(core.FrameSink)
 	return &streamer{
 		sink:    sink,
+		frames:  frames,
 		done:    make([]bool, shards),
 		pending: make([][]core.RunRecord, shards),
+		encoded: make([][]core.Frame, shards),
 	}
 }
 
 // complete buffers shard i's records and flushes every released prefix
-// shard to the sink. Safe for concurrent use by the worker pool; emission
-// happens under the lock, so records can never interleave out of order.
+// shard to the sink. Safe for concurrent use by the worker pool; frames are
+// encoded outside the lock, emission happens under it, so records can never
+// interleave out of order.
 func (s *streamer) complete(i int, records []core.RunRecord) {
 	if s == nil {
 		return
+	}
+	var frames []core.Frame
+	var encErr error
+	if s.frames {
+		frames, encErr = wire.EncodeFrames(records)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.done[i] = true
 	s.pending[i] = records
+	s.encoded[i] = frames
+	if encErr != nil && s.err == nil {
+		// A record encoding/json itself would refuse (non-finite float);
+		// the legacy per-sink path would have failed identically.
+		s.err = fmt.Errorf("campaign: sink: %w", encErr)
+	}
 	for s.next < len(s.done) && s.done[s.next] {
-		for _, rec := range s.pending[s.next] {
-			if s.err != nil {
-				break
+		if s.frames {
+			for _, f := range s.encoded[s.next] {
+				if s.err != nil {
+					break
+				}
+				if err := core.EmitFrame(s.sink, f); err != nil {
+					s.err = fmt.Errorf("campaign: sink: %w", err)
+				}
 			}
-			if err := s.sink.Record(rec); err != nil {
-				s.err = fmt.Errorf("campaign: sink: %w", err)
+		} else {
+			for _, rec := range s.pending[s.next] {
+				if s.err != nil {
+					break
+				}
+				if err := s.sink.Record(rec); err != nil {
+					s.err = fmt.Errorf("campaign: sink: %w", err)
+				}
 			}
 		}
 		s.pending[s.next] = nil
+		s.encoded[s.next] = nil
 		s.next++
 	}
 }

@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
@@ -300,5 +302,62 @@ func TestStreamManyShards(t *testing.T) {
 	}
 	if len(sink.records()) != n {
 		t.Errorf("streamed %d records, want %d", len(sink.records()), n)
+	}
+}
+
+// frameSink collects pre-rendered frames: the encode-once fan-out path.
+// Record must never be called once the engine sees the Frame capability.
+type frameSink struct {
+	mu      sync.Mutex
+	frames  []core.Frame
+	records int // legacy Record calls (want 0)
+}
+
+func (s *frameSink) Record(core.RunRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records++
+	return nil
+}
+
+func (s *frameSink) Frame(f core.Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames = append(s.frames, f)
+	return nil
+}
+
+// TestStreamFramesMatchBatch pins the encode-once path at every worker
+// count: a FrameSink subscriber receives each record exactly once as a
+// pre-rendered frame, in grid order, with the line byte-identical to what
+// the legacy per-subscriber json.Encoder would have produced. Run under
+// -race in CI at workers 1/4/16.
+func TestStreamFramesMatchBatch(t *testing.T) {
+	g := recoveryGrid(t)
+	for _, workers := range []int{1, 4, 16} {
+		sink := &frameSink{}
+		rep, err := RunGrid(Config{Workers: workers, Seed: 7, Sink: sink}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sink.records != 0 {
+			t.Errorf("workers=%d: %d records bypassed the frame path", workers, sink.records)
+		}
+		if len(sink.frames) != len(rep.Records) {
+			t.Fatalf("workers=%d: streamed %d frames, batch has %d records", workers, len(sink.frames), len(rep.Records))
+		}
+		for i, f := range sink.frames {
+			if !reflect.DeepEqual(f.Rec, rep.Records[i]) {
+				t.Fatalf("workers=%d: frame %d record differs from batch report", workers, i)
+			}
+			legacy, err := json.Marshal(rep.Records[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy = append(legacy, '\n')
+			if !bytes.Equal(f.Line, legacy) {
+				t.Fatalf("workers=%d: frame %d line %q, legacy encoder %q", workers, i, f.Line, legacy)
+			}
+		}
 	}
 }

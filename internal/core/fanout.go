@@ -75,7 +75,23 @@ func (m *MultiSink) Record(rec RunRecord) error {
 	return nil
 }
 
+// Frame implements FrameSink by broadcasting the shared pre-rendered frame:
+// subscribers that understand frames receive the same immutable byte slice
+// (no per-subscriber re-encoding), the rest fall back to Record. The
+// drop-on-error policy matches Record.
+func (m *MultiSink) Frame(f Frame) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, s := range m.subs {
+		if err := EmitFrame(s, f); err != nil {
+			delete(m.subs, id)
+		}
+	}
+	return nil
+}
+
 var _ Sink = (*MultiSink)(nil)
+var _ FrameSink = (*MultiSink)(nil)
 
 // ChanPolicy selects what a ChanSink does when its consumer falls behind.
 type ChanPolicy int

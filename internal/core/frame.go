@@ -1,0 +1,41 @@
+package core
+
+// A Frame is a run record together with its pre-rendered JSON Lines
+// encoding: the exact bytes a JSONL subscriber receives, newline included.
+// Frames exist so the daemon's fan-out encodes each record exactly once —
+// at commit into the engine's ordering buffer — and every NDJSON/SSE
+// subscriber, spool file and durable-store segment writer shares the same
+// immutable byte slice instead of re-encoding the record independently.
+//
+// Line is shared: receivers must treat it as read-only and must not retain
+// a mutated copy. It always renders the same bytes encoding/json would
+// produce for Rec (plus the trailing newline); internal/wire pins that
+// equivalence, which is what keeps the encode-once stream byte-identical
+// to the legacy per-subscriber path.
+type Frame struct {
+	// Rec is the decoded record, for consumers that aggregate rather than
+	// forward bytes.
+	Rec RunRecord
+	// Line is the record's JSONL encoding, "…\n", immutable and shared.
+	Line []byte
+}
+
+// FrameSink is the encoded-frame fast path alongside Sink: sinks that can
+// consume pre-rendered bytes implement it, and fan-out points deliver the
+// shared frame instead of the bare record. A sink may implement both; use
+// EmitFrame to dispatch on capability.
+type FrameSink interface {
+	// Frame consumes one finished run with its shared pre-rendered line.
+	Frame(f Frame) error
+}
+
+// EmitFrame delivers a frame to a sink through its fastest supported path:
+// the shared pre-rendered line when the sink implements FrameSink, the
+// decoded record otherwise. This is the single dispatch point that lets
+// frame-producing fan-outs keep feeding legacy Sink implementations.
+func EmitFrame(s Sink, f Frame) error {
+	if fs, ok := s.(FrameSink); ok {
+		return fs.Frame(f)
+	}
+	return s.Record(f.Rec)
+}

@@ -21,14 +21,17 @@ type Sink interface {
 }
 
 // JSONLSink streams records as JSON Lines to a writer (the spool file or
-// network channel of Fig. 2).
+// network channel of Fig. 2). It also implements FrameSink: when fed from
+// a frame-producing fan-out it writes the shared pre-rendered line
+// directly, paying no encoding cost of its own.
 type JSONLSink struct {
+	w   io.Writer
 	enc *json.Encoder
 }
 
 // NewJSONLSink wraps a writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
 }
 
 // Record implements Sink.
@@ -39,7 +42,17 @@ func (s *JSONLSink) Record(rec RunRecord) error {
 	return nil
 }
 
+// Frame implements FrameSink: the pre-rendered line is the exact bytes
+// Record would have encoded, so it is written as-is.
+func (s *JSONLSink) Frame(f Frame) error {
+	if _, err := s.w.Write(f.Line); err != nil {
+		return fmt.Errorf("core: write run record: %w", err)
+	}
+	return nil
+}
+
 var _ Sink = (*JSONLSink)(nil)
+var _ FrameSink = (*JSONLSink)(nil)
 
 // AttachSink registers a sink; every subsequent run is streamed to it in
 // addition to the in-memory record list. Multiple sinks may be attached.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // Status is a campaign's lifecycle state in the registry.
@@ -19,10 +20,12 @@ const (
 )
 
 // Campaign is one registry entry: a submitted spec, its lifecycle state,
-// and the record buffer that every stream subscriber replays from. The
+// and the frame buffer that every stream subscriber replays from. The
 // buffer is append-only and retained after completion — that retention IS
 // the characterization cache: a cache-hit submission streams the buffered
-// records without touching the engine.
+// frames without touching the engine. Each frame carries its shared
+// pre-rendered JSONL line, so replaying to N subscribers writes the same
+// immutable bytes N times and encodes them zero times.
 type Campaign struct {
 	id          string
 	spec        Spec
@@ -35,7 +38,7 @@ type Campaign struct {
 	cond    *sync.Cond
 	status  Status
 	errMsg  string
-	records []core.RunRecord
+	frames  []core.Frame
 	stats   campaign.Stats
 	workers int
 
@@ -87,15 +90,15 @@ func (c *Campaign) needsHydration() bool {
 	return c.fromStore && !c.hydrated && c.status == StatusDone
 }
 
-// hydrateWith installs the records loaded from the store. Safe to race:
+// hydrateWith installs the frames loaded from the store. Safe to race:
 // the first load wins, later ones are discarded.
-func (c *Campaign) hydrateWith(recs []core.RunRecord) {
+func (c *Campaign) hydrateWith(frames []core.Frame) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.fromStore || c.hydrated || c.status != StatusDone {
 		return
 	}
-	c.records = recs
+	c.frames = frames
 	c.hydrated = true
 	c.cond.Broadcast()
 }
@@ -116,19 +119,31 @@ func (c *Campaign) markLost(err error) {
 	c.cond.Broadcast()
 }
 
-// Record implements core.Sink: this is the campaign engine's streaming
-// hook. The engine's ordering buffer guarantees records arrive in
+// Frame implements core.FrameSink: this is the campaign engine's streaming
+// hook. The engine's ordering buffer guarantees frames arrive in
 // deterministic grid order, so appending preserves byte-identity with the
-// batch report.
-func (c *Campaign) Record(rec core.RunRecord) error {
+// batch report; the shared pre-rendered line is what every subscriber will
+// write.
+func (c *Campaign) Frame(f core.Frame) error {
 	c.mu.Lock()
-	c.records = append(c.records, rec)
+	c.frames = append(c.frames, f)
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	return c.extra.Record(rec)
+	return c.extra.Frame(f)
+}
+
+// Record implements core.Sink for producers that do not pre-encode: the
+// record is rendered here (once) and then follows the frame path.
+func (c *Campaign) Record(rec core.RunRecord) error {
+	f, err := wire.EncodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	return c.Frame(f)
 }
 
 var _ core.Sink = (*Campaign)(nil)
+var _ core.FrameSink = (*Campaign)(nil)
 
 // setRunning marks the campaign live.
 func (c *Campaign) setRunning() {
@@ -165,12 +180,13 @@ func (c *Campaign) Status() Status {
 // terminal reports whether a status is final.
 func (s Status) terminal() bool { return s == StatusDone || s == StatusFailed }
 
-// next blocks until records beyond i exist, the campaign reaches a
-// terminal state, or ctx is cancelled, then returns the records from i on
+// next blocks until frames beyond i exist, the campaign reaches a
+// terminal state, or ctx is cancelled, then returns the frames from i on
 // and the status seen. The returned slice is a view of the append-only
-// buffer: elements below the observed length are never rewritten, so
-// reading them after the lock is released is safe.
-func (c *Campaign) next(ctx context.Context, i int) ([]core.RunRecord, Status) {
+// buffer: elements below the observed length are never rewritten (and each
+// frame's Line is immutable), so reading them after the lock is released
+// is safe.
+func (c *Campaign) next(ctx context.Context, i int) ([]core.Frame, Status) {
 	// Wake the wait loop when the subscriber goes away; the request
 	// context is cancelled by net/http as soon as the handler returns or
 	// the client disconnects, so this goroutine cannot outlive the stream.
@@ -183,10 +199,10 @@ func (c *Campaign) next(ctx context.Context, i int) ([]core.RunRecord, Status) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i >= len(c.records) && !c.status.terminal() && ctx.Err() == nil {
+	for i >= len(c.frames) && !c.status.terminal() && ctx.Err() == nil {
 		c.cond.Wait()
 	}
-	return c.records[i:len(c.records):len(c.records)], c.status
+	return c.frames[i:len(c.frames):len(c.frames)], c.status
 }
 
 // View is the JSON shape of a campaign's registry state.
@@ -222,7 +238,7 @@ type View struct {
 func (c *Campaign) view() View {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	records := len(c.records)
+	records := len(c.frames)
 	if c.fromStore && !c.hydrated {
 		records = c.storedRecords
 	}

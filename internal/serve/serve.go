@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 // Options parameterizes a Server.
@@ -84,6 +86,13 @@ type Options struct {
 	// unbounded.
 	StoreMaxSegments int
 	StoreMaxBytes    int64
+	// SegmentFormat selects the on-disk encoding of newly committed
+	// segments: wire.FormatJSONL (default, human-greppable, byte-identical
+	// to the stream) or wire.FormatBinary (compact, CRC-protected). Old
+	// segments of either format keep replaying regardless — the reader
+	// auto-detects — and the replayed stream bytes are identical either
+	// way.
+	SegmentFormat wire.Format
 	// WarmLoad bounds how many manifest entries the registry adopts
 	// eagerly at boot. A store can outgrow the registry by orders of
 	// magnitude (CacheMax bounds memory, the store bounds disk), and a
@@ -165,6 +174,7 @@ func New(opts Options) (*Server, error) {
 			Dir:         opts.StoreDir,
 			MaxSegments: opts.StoreMaxSegments,
 			MaxBytes:    opts.StoreMaxBytes,
+			Format:      opts.SegmentFormat,
 		})
 		if err != nil {
 			return nil, err
@@ -594,28 +604,32 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	flusher, _ := w.(http.Flusher)
 
-	enc := json.NewEncoder(w)
 	i := 0
 	for {
-		recs, status := c.next(r.Context(), i)
+		frames, status := c.next(r.Context(), i)
 		if r.Context().Err() != nil {
 			return // client went away
 		}
-		for _, rec := range recs {
+		// Every subscriber writes the same shared pre-rendered bytes; no
+		// JSON encoding happens on this path, however many clients tail the
+		// campaign. SSE reuses the line minus its newline as the data chunk.
+		for _, f := range frames {
 			if sse {
-				data, err := json.Marshal(rec)
-				if err != nil {
+				if _, err := io.WriteString(w, "data: "); err != nil {
 					return
 				}
-				if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				if _, err := w.Write(f.Line[:len(f.Line)-1]); err != nil {
 					return
 				}
-			} else if err := enc.Encode(rec); err != nil {
+				if _, err := io.WriteString(w, "\n\n"); err != nil {
+					return
+				}
+			} else if _, err := w.Write(f.Line); err != nil {
 				return
 			}
 		}
-		i += len(recs)
-		if flusher != nil && len(recs) > 0 {
+		i += len(frames)
+		if flusher != nil && len(frames) > 0 {
 			flusher.Flush()
 		}
 		if status.terminal() {

@@ -128,7 +128,7 @@ func (s *Server) hydrate(c *Campaign) error {
 	if s.store == nil || !c.needsHydration() {
 		return nil
 	}
-	recs, err := s.store.Load(c.fingerprint)
+	frames, err := s.store.LoadFrames(c.fingerprint)
 	if err != nil {
 		if _, ok := s.store.Get(c.fingerprint); ok {
 			return fmt.Errorf("%w: %v", errStoreUnavailable, err)
@@ -136,7 +136,7 @@ func (s *Server) hydrate(c *Campaign) error {
 		c.markLost(err)
 		return nil
 	}
-	c.hydrateWith(recs)
+	c.hydrateWith(frames)
 	return nil
 }
 
@@ -161,4 +161,17 @@ func (t *storeTee) Record(rec core.RunRecord) error {
 	return nil
 }
 
+// Frame keeps the tee on the encode-once fast path: the live buffer and a
+// JSONL segment writer both consume the shared pre-rendered line.
+func (t *storeTee) Frame(f core.Frame) error {
+	if err := core.EmitFrame(t.live, f); err != nil {
+		return err
+	}
+	if t.err == nil {
+		t.err = t.w.Frame(f)
+	}
+	return nil
+}
+
 var _ core.Sink = (*storeTee)(nil)
+var _ core.FrameSink = (*storeTee)(nil)

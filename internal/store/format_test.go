@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// commitFmt is commit for a store opened with an explicit segment format.
+func commitFmt(t *testing.T, s *Store, fp, label string, n int) {
+	t.Helper()
+	w, err := s.Begin(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords(label, n) {
+		if err := w.Record(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, _ := json.Marshal(map[string]string{"label": label})
+	if err := w.Commit(meta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryFormatRoundTrip commits through the binary writer and checks
+// the on-disk segment is a real binary segment whose replay is
+// byte-identical to the live JSONL stream.
+func TestBinaryFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Format: wire.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitFmt(t, s, "aaaa", "mcf", 4)
+
+	raw, err := os.ReadFile(filepath.Join(dir, segNameOf("aaaa", wire.FormatBinary)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, wire.Header()) {
+		t.Fatal("binary segment does not start with the wire header")
+	}
+
+	frames, err := s.LoadFrames("aaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay bytes.Buffer
+	for _, f := range frames {
+		replay.Write(f.Line)
+	}
+	var live bytes.Buffer
+	sink := core.NewJSONLSink(&live)
+	for _, rec := range testRecords("mcf", 4) {
+		sink.Record(rec)
+	}
+	if !bytes.Equal(replay.Bytes(), live.Bytes()) {
+		t.Error("binary segment replay differs from the live JSONL stream")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedFormatRecovery reopens one directory under alternating formats:
+// existing segments of either encoding must survive verification, load,
+// and warm restarts — the format option only affects new commits.
+func TestMixedFormatRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Format: wire.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitFmt(t, s, "aaaa", "mcf", 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the default (JSONL) format: the binary segment must be
+	// adopted as-is, and a new commit lands as JSONL beside it.
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitFmt(t, s2, "bbbb", "lbm", 2)
+	for fp, want := range map[string][]core.RunRecord{
+		"aaaa": testRecords("mcf", 3),
+		"bbbb": testRecords("lbm", 2),
+	} {
+		got, err := s2.Load(fp)
+		if err != nil {
+			t.Fatalf("load %s: %v", fp, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s loaded %d records, want %d (or content differs)", fp, len(got), len(want))
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, segNameOf("aaaa", wire.FormatBinary))); err != nil {
+		t.Error("binary segment gone after JSONL reopen:", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segNameOf("bbbb", wire.FormatJSONL))); err != nil {
+		t.Error("JSONL segment missing:", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third generation, binary again: both mixed segments still verify and
+	// load, and re-committing the JSONL entry under binary replaces its
+	// segment file (no stale twin of the other format left behind).
+	s3, err := Open(Options{Dir: dir, Format: wire.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.Segments != 2 || st.Quarantined != 0 {
+		t.Fatalf("mixed store stats after reopen = %+v", st)
+	}
+	commitFmt(t, s3, "bbbb", "lbm", 2)
+	if _, err := os.Stat(filepath.Join(dir, segNameOf("bbbb", wire.FormatBinary))); err != nil {
+		t.Error("re-committed entry has no binary segment:", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segNameOf("bbbb", wire.FormatJSONL))); !os.IsNotExist(err) {
+		t.Errorf("superseded JSONL segment still present (err=%v)", err)
+	}
+	got, err := s3.Load("bbbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, testRecords("lbm", 2)) {
+		t.Error("re-committed entry loads wrong records")
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedBinarySegmentQuarantined mirrors the JSONL damage test for
+// the binary format: a segment cut mid-record is quarantined at reopen.
+func TestTruncatedBinarySegmentQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Format: wire.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitFmt(t, s, "aaaa", "mcf", 4)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segNameOf("aaaa", wire.FormatBinary))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir, Format: wire.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("aaaa"); ok {
+		t.Error("truncated binary segment still indexed")
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

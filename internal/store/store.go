@@ -12,7 +12,11 @@
 //	seg-<fp>.jsonl        one committed segment per characterization: the
 //	                      campaign's record stream, byte-identical to the
 //	                      live NDJSON stream that produced it
-//	seg-<fp>.jsonl.tmp    a campaign still being written (crash debris if
+//	seg-<fp>.bin          the same stream in the compact binary wire
+//	                      format (Options.Format = wire.FormatBinary);
+//	                      loads re-render the canonical JSONL, and a
+//	                      directory may mix both suffixes freely
+//	seg-<fp>.*.tmp        a campaign still being written (crash debris if
 //	                      one survives a restart)
 //	quarantine/           segments recovery refused to trust, kept for
 //	                      forensics instead of deleted
@@ -47,6 +51,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 const (
@@ -54,6 +59,7 @@ const (
 	quarantineDir = "quarantine"
 	segPrefix     = "seg-"
 	segSuffix     = ".jsonl"
+	segBinSuffix  = ".bin"
 	tmpSuffix     = ".tmp"
 )
 
@@ -69,6 +75,13 @@ type Options struct {
 	// unbounded. The newest segment is never evicted by its own commit,
 	// so one oversized campaign can transiently exceed the bound.
 	MaxBytes int64
+	// Format selects how NEW segments are encoded: wire.FormatJSONL (the
+	// default) or wire.FormatBinary (compact, CRC-protected). Reading is
+	// always format-agnostic — wire.ReadSegment auto-detects per segment —
+	// so a store written under one format reopens cleanly under the other
+	// and mixed-format directories replay fine; only future commits follow
+	// this option. Replayed streams are byte-identical either way.
+	Format wire.Format
 }
 
 // Entry is one committed characterization: where its records live and the
@@ -142,6 +155,12 @@ func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("store: no directory")
 	}
+	if _, err := wire.ParseFormat(string(opts.Format)); err != nil {
+		return nil, err
+	}
+	if opts.Format == "" {
+		opts.Format = wire.FormatJSONL
+	}
 	if err := os.MkdirAll(filepath.Join(opts.Dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", opts.Dir, err)
 	}
@@ -185,8 +204,34 @@ func Open(opts Options) (*Store, error) {
 
 func (s *Store) manifestPath() string { return filepath.Join(s.opts.Dir, manifestName) }
 
-// segName is the canonical segment file name for a fingerprint.
+// segName is the canonical segment file name for a fingerprint in the
+// legacy JSONL format.
 func segName(fp string) string { return segPrefix + fp + segSuffix }
+
+// segNameOf is the canonical segment file name under a given format.
+func segNameOf(fp string, format wire.Format) string {
+	if format == wire.FormatBinary {
+		return segPrefix + fp + segBinSuffix
+	}
+	return segName(fp)
+}
+
+// isSegName reports whether a directory entry looks like a committed
+// segment of either format.
+func isSegName(name string) bool {
+	return strings.HasPrefix(name, segPrefix) &&
+		(strings.HasSuffix(name, segSuffix) || strings.HasSuffix(name, segBinSuffix))
+}
+
+// readSegmentFile reads a segment of either format back into frames.
+func readSegmentFile(path string) ([]core.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return wire.ReadSegment(f)
+}
 
 // validFingerprint keeps fingerprints path-safe: they become file names.
 func validFingerprint(fp string) error {
@@ -272,7 +317,7 @@ func (s *Store) sweepDir(dirty *bool) error {
 			continue
 		}
 		orphanTmp := strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, tmpSuffix)
-		orphanSeg := strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) && !claimed[name]
+		orphanSeg := isSegName(name) && !claimed[name]
 		if !orphanTmp && !orphanSeg {
 			continue
 		}
@@ -297,13 +342,8 @@ func (s *Store) verifySegments(dirty *bool) error {
 			if err != nil || fi.Size() != e.Bytes {
 				return false
 			}
-			f, err := os.Open(path)
-			if err != nil {
-				return false
-			}
-			defer f.Close()
-			recs, err := core.ParseLog(f)
-			return err == nil && len(recs) == e.Records
+			frames, err := readSegmentFile(path)
+			return err == nil && len(frames) == e.Records
 		}()
 		if ok {
 			continue
@@ -439,22 +479,27 @@ func (s *Store) appendOpLocked(op manifestOp, sync bool) error {
 }
 
 // Writer streams one campaign's records into an uncommitted segment. It
-// implements core.Sink, so it can ride the existing sink fan-out. Exactly
+// implements core.Sink and core.FrameSink, so it can ride the existing
+// sink fan-out: fed from a frame-producing pipeline a JSONL writer appends
+// the shared pre-rendered line without encoding anything, and a binary
+// writer re-frames the already-decoded record without JSON work. Exactly
 // one of Commit or Abort must be called.
 type Writer struct {
 	st      *Store
 	fp      string
+	format  wire.Format
 	f       *os.File
 	bw      *bufio.Writer
-	enc     *json.Encoder
+	scratch []byte
 	records int
 	bytes   int64
 	done    bool
 }
 
-// Begin opens a segment writer for a fingerprint. The segment becomes
-// visible (and durable) only at Commit; a crash before that leaves .tmp
-// debris that the next Open quarantines.
+// Begin opens a segment writer for a fingerprint, in the store's
+// configured format. The segment becomes visible (and durable) only at
+// Commit; a crash before that leaves .tmp debris that the next Open
+// quarantines.
 func (s *Store) Begin(fp string) (*Writer, error) {
 	if err := validFingerprint(fp); err != nil {
 		return nil, err
@@ -465,30 +510,74 @@ func (s *Store) Begin(fp string) (*Writer, error) {
 	if closed {
 		return nil, errors.New("store: closed")
 	}
-	path := filepath.Join(s.opts.Dir, segName(fp)+tmpSuffix)
+	path := filepath.Join(s.opts.Dir, segNameOf(fp, s.opts.Format)+tmpSuffix)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: begin segment %s: %w", fp, err)
 	}
-	w := &Writer{st: s, fp: fp, f: f, bw: bufio.NewWriter(f)}
-	w.enc = json.NewEncoder(&countingWriter{w: w.bw, n: &w.bytes})
+	w := &Writer{st: s, fp: fp, format: s.opts.Format, f: f, bw: bufio.NewWriter(f)}
+	if w.format == wire.FormatBinary {
+		if err := w.write(wire.Header()); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
-// Record implements core.Sink: one JSON line per run record, the same
-// bytes the live stream carries.
+// write appends raw bytes to the segment, tracking the committed size.
+func (w *Writer) write(p []byte) error {
+	n, err := w.bw.Write(p)
+	w.bytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("store: write segment: %w", err)
+	}
+	return nil
+}
+
+// Record implements core.Sink: the record is encoded by this writer (the
+// canonical JSONL bytes, or a binary frame). Frame-fed pipelines use Frame
+// instead and skip the JSONL encoding entirely.
 func (w *Writer) Record(rec core.RunRecord) error {
 	if w.done {
 		return errors.New("store: segment writer already finished")
 	}
-	if err := w.enc.Encode(rec); err != nil {
-		return fmt.Errorf("store: write record: %w", err)
+	var err error
+	if w.format == wire.FormatBinary {
+		w.scratch, err = wire.AppendBinaryRecord(w.scratch[:0], rec)
+	} else {
+		w.scratch, err = wire.AppendRecordLine(w.scratch[:0], rec)
+	}
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	if err := w.write(w.scratch); err != nil {
+		return err
+	}
+	w.records++
+	return nil
+}
+
+// Frame implements core.FrameSink: a JSONL segment appends the shared
+// pre-rendered line as-is (zero encoding cost), a binary segment re-frames
+// the decoded record.
+func (w *Writer) Frame(f core.Frame) error {
+	if w.format != wire.FormatJSONL {
+		return w.Record(f.Rec)
+	}
+	if w.done {
+		return errors.New("store: segment writer already finished")
+	}
+	if err := w.write(f.Line); err != nil {
+		return err
 	}
 	w.records++
 	return nil
 }
 
 var _ core.Sink = (*Writer)(nil)
+var _ core.FrameSink = (*Writer)(nil)
 
 // Commit makes the segment durable and indexes it under the fingerprint:
 // flush + fsync the segment, rename it into place, fsync the directory,
@@ -510,7 +599,7 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("store: close segment: %w", err)
 	}
-	s, name := w.st, segName(w.fp)
+	s, name := w.st, segNameOf(w.fp, w.format)
 	final := filepath.Join(s.opts.Dir, name)
 	if err := os.Rename(final+tmpSuffix, final); err != nil {
 		return fmt.Errorf("store: install segment: %w", err)
@@ -527,6 +616,13 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 	}, true); err != nil {
 		return err
 	}
+	// A re-commit under a different format leaves the predecessor segment
+	// under its old name; remove it now that the manifest points away (a
+	// crash in between merely leaves an orphan for the next Open to
+	// quarantine).
+	if prev := s.entries[w.fp]; prev != nil && prev.Segment != name {
+		_ = os.Remove(filepath.Join(s.opts.Dir, prev.Segment))
+	}
 	s.seq++
 	s.entries[w.fp] = &Entry{
 		Fingerprint: w.fp, Segment: name,
@@ -542,7 +638,7 @@ func (w *Writer) Abort() error {
 	}
 	w.done = true
 	w.f.Close()
-	path := filepath.Join(w.st.opts.Dir, segName(w.fp)+tmpSuffix)
+	path := filepath.Join(w.st.opts.Dir, segNameOf(w.fp, w.format)+tmpSuffix)
 	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("store: abort segment: %w", err)
 	}
@@ -574,32 +670,34 @@ func (s *Store) Entries() []Entry {
 	return out
 }
 
-// Load reads a fingerprint's records back, verifying the segment against
-// its manifest line. A segment that fails verification here (damaged after
-// boot) is quarantined and its entry dropped, so the caller can fall back
-// to re-running the campaign. A failure to even open the segment is
-// treated as transient (fd exhaustion, permissions): the entry survives,
-// because forgetting a durable characterization over a retryable error
-// would force exactly the re-run the store exists to prevent. Loading
-// counts as a use for the LRU order.
-func (s *Store) Load(fp string) ([]core.RunRecord, error) {
+// LoadFrames reads a fingerprint's segment back as frames — each record
+// with its canonical JSONL line, so replaying to a subscriber costs no
+// re-encoding and is byte-identical to the original live stream whatever
+// format the segment used on disk. The segment is verified against its
+// manifest line; one that fails verification here (damaged after boot) is
+// quarantined and its entry dropped, so the caller can fall back to
+// re-running the campaign. A failure to even open the segment is treated
+// as transient (fd exhaustion, permissions): the entry survives, because
+// forgetting a durable characterization over a retryable error would force
+// exactly the re-run the store exists to prevent. Loading counts as a use
+// for the LRU order.
+func (s *Store) LoadFrames(fp string) ([]core.Frame, error) {
 	s.mu.Lock()
 	e := s.entries[fp]
 	s.mu.Unlock()
 	if e == nil {
 		return nil, fmt.Errorf("store: unknown fingerprint %s", fp)
 	}
-	f, err := os.Open(filepath.Join(s.opts.Dir, e.Segment))
+	frames, err := readSegmentFile(filepath.Join(s.opts.Dir, e.Segment))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("store: load %s: %w", fp, err)
-	}
-	var recs []core.RunRecord
-	if err == nil {
-		recs, err = core.ParseLog(f)
-		f.Close()
-		if err == nil && len(recs) != e.Records {
-			err = fmt.Errorf("store: segment %s holds %d records, manifest says %d", e.Segment, len(recs), e.Records)
+		var re *wire.ReadError
+		if !errors.As(err, &re) {
+			// Could not open or read the file at all: transient.
+			return nil, fmt.Errorf("store: load %s: %w", fp, err)
 		}
+	}
+	if err == nil && len(frames) != e.Records {
+		err = fmt.Errorf("store: segment %s holds %d records, manifest says %d", e.Segment, len(frames), e.Records)
 	}
 	if err != nil {
 		s.mu.Lock()
@@ -616,6 +714,21 @@ func (s *Store) Load(fp string) ([]core.RunRecord, error) {
 		return nil, fmt.Errorf("store: load %s: %w", fp, err)
 	}
 	s.Touch(fp)
+	return frames, nil
+}
+
+// Load reads a fingerprint's records back (LoadFrames without the
+// pre-rendered lines), with the same verification and quarantine
+// semantics.
+func (s *Store) Load(fp string) ([]core.RunRecord, error) {
+	frames, err := s.LoadFrames(fp)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]core.RunRecord, len(frames))
+	for i, f := range frames {
+		recs[i] = f.Rec
+	}
 	return recs, nil
 }
 
@@ -711,18 +824,6 @@ func (s *Store) Close() error {
 		return fmt.Errorf("store: close: %w", err)
 	}
 	return nil
-}
-
-// countingWriter tracks bytes written through it.
-type countingWriter struct {
-	w *bufio.Writer
-	n *int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	*c.n += int64(n)
-	return n, err
 }
 
 // syncDir fsyncs a directory so a just-renamed file's name is durable.

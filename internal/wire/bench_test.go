@@ -1,0 +1,53 @@
+package wire_test
+
+// Encoder-only benchmarks, isolated from the campaign engine: the encode
+// cost a committed shard pays once, regardless of subscriber count. On a
+// shared 1-CPU runner the end-to-end stream benchmarks in the repo root
+// swing ±10% run to run; these pin the encode term directly.
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkEncodeFrames renders the full 100-record Fig. 4 grid into
+// shared frames — the exact work the campaign streamer adds per grid on
+// top of the ordering buffer when a FrameSink subscribes.
+func BenchmarkEncodeFrames(b *testing.B) {
+	recs, err := fig4Records()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames, err := wire.EncodeFrames(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int64(len(frames))
+	}
+	if total != int64(b.N)*int64(len(recs)) {
+		b.Fatalf("encoded %d frames, want %d", total, int64(b.N)*int64(len(recs)))
+	}
+}
+
+// BenchmarkAppendBinaryRecord renders the same grid into a binary segment
+// body, for comparison with the JSONL encoder above.
+func BenchmarkAppendBinaryRecord(b *testing.B) {
+	recs, err := fig4Records()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := wire.Header()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:len(wire.Header())]
+		for _, rec := range recs {
+			if buf, err = wire.AppendBinaryRecord(buf, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package wire_test
+
+// FuzzWireReader throws arbitrary bytes at the auto-detecting segment
+// reader. The invariants, regardless of input: never panic, never return
+// an error other than *wire.ReadError, and every returned frame must be
+// internally consistent — a newline-terminated valid-JSON line that
+// decodes back to the frame's record. Damage seeds (truncations, bit
+// flips, lying length prefixes) live in the in-code corpus below and in
+// committed files under testdata/fuzz/FuzzWireReader.
+//
+// CI runs this as a smoke pass (corpus only, via `go test`); run it as a
+// real fuzzer with:
+//
+//	go test ./internal/wire/ -fuzz FuzzWireReader -fuzztime 30s
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/silicon"
+	"repro/internal/wire"
+	"repro/internal/xgene"
+)
+
+// fuzzSegment builds a valid 3-record binary segment to seed from.
+func fuzzSegment(tb testing.TB) []byte {
+	tb.Helper()
+	recs := []core.RunRecord{
+		{Benchmark: "mcf", Outcome: xgene.OutcomeOK, DroopMV: 12.5, SimTime: time.Second},
+		{
+			Benchmark: "lbm\"<&>\n",
+			Setup: core.Setup{
+				PMDVoltage: 0.94,
+				SoCVoltage: 0.95,
+				TREFP:      64 * time.Millisecond,
+				Cores:      []silicon.CoreID{{PMD: 3, Core: 1}},
+			},
+			Repetition: 7,
+			Outcome:    xgene.OutcomeSDC,
+			DroopMV:    38.25,
+			DRAMSDC:    2,
+			Recovered:  true,
+			SimTime:    70 * time.Second,
+		},
+		{Benchmark: "povray", Outcome: xgene.OutcomeHang, DroopMV: 1e-7, SimTime: -1},
+	}
+	seg := wire.Header()
+	for _, rec := range recs {
+		var err error
+		if seg, err = wire.AppendBinaryRecord(seg, rec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return seg
+}
+
+func FuzzWireReader(f *testing.F) {
+	seg := fuzzSegment(f)
+	f.Add(seg)              // clean segment
+	f.Add(seg[:len(seg)-3]) // truncated mid-CRC
+	f.Add(seg[:len(seg)/2]) // truncated mid-payload
+	f.Add(wire.Header())    // header only
+	f.Add(seg[:4])          // shorter than the magic
+	f.Add([]byte{})         // empty
+	f.Add([]byte(`{"Benchmark":"mcf","Setup":{"PMDVoltage":0,"SoCVoltage":0,"PMDFreqHz":[0,0,0,0],"TREFP":0,"Cores":null},"Repetition":0,"Outcome":"OK","DroopMV":0,"DRAMCE":0,"DRAMUE":0,"DRAMSDC":0,"Recovered":false,"SimTime":0}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	flipped := append([]byte(nil), seg...)
+	flipped[len(wire.Header())+6] ^= 0x40 // bit flip inside record 1's payload
+	f.Add(flipped)
+	badVer := append([]byte(nil), seg...)
+	badVer[8] = 0x7f
+	f.Add(badVer)
+	lying := append(wire.Header(), 0xff, 0xff, 0xff, 0xff, 0x0f) // 4 GiB length prefix
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := wire.ReadSegment(bytes.NewReader(data))
+		if err != nil {
+			var re *wire.ReadError
+			if !errors.As(err, &re) {
+				t.Fatalf("non-ReadError failure: %v", err)
+			}
+			if bytes.HasPrefix(data, []byte("WIRESEGM")) {
+				// Binary: every record before the damage yields a frame, so
+				// the damage index is exactly one past the salvaged prefix
+				// (0 means the header itself was bad).
+				if re.Record != 0 && re.Record != len(frames)+1 {
+					t.Fatalf("binary damage at record %d with %d salvaged frames", re.Record, len(frames))
+				}
+			} else if re.Record < len(frames)+1 {
+				// JSONL: Record is a line number; blank lines make it run
+				// ahead of the frame count, never behind.
+				t.Fatalf("JSONL damage at line %d with %d salvaged frames", re.Record, len(frames))
+			}
+		}
+		for i, fr := range frames {
+			if len(fr.Line) == 0 || fr.Line[len(fr.Line)-1] != '\n' {
+				t.Fatalf("frame %d line not newline-terminated: %q", i, fr.Line)
+			}
+			if bytes.ContainsRune(fr.Line[:len(fr.Line)-1], '\n') {
+				t.Fatalf("frame %d line embeds a newline: %q", i, fr.Line)
+			}
+			var rec core.RunRecord
+			if perr := json.Unmarshal(fr.Line, &rec); perr != nil {
+				t.Fatalf("frame %d line does not parse back: %v", i, perr)
+			}
+		}
+	})
+}

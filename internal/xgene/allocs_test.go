@@ -1,0 +1,64 @@
+package xgene
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRunAllocFree pins the steady-state allocation behaviour of the run
+// hot path: after warmup (simcache populated), a clean characterization
+// run must not allocate at all. This guards the interned split labels
+// (no fmt.Sprintf), the bitmask duplicate-core check (no map), and the
+// lazy SLIMpro snapshot (no per-run temperature slice on event-less
+// runs) against regressions.
+func TestRunAllocFree(t *testing.T) {
+	s := newTTT(t)
+	p, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := allCoresSpec(p, 1)
+	if _, err := s.Run(spec); err != nil {
+		t.Fatal(err) // warmup: populate the simcache memo
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		spec.Seed++
+		res, err := s.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != OutcomeOK {
+			t.Fatalf("nominal-voltage run not OK: %v", res.Outcome)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Run allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}
+
+// TestRunMultiAllocFree pins the same bound for the multi-programmed path.
+func TestRunMultiAllocFree(t *testing.T) {
+	s := newTTT(t)
+	p, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignments := make([]Assignment, 0, len(allCoresSpec(p, 1).Cores))
+	for _, id := range allCoresSpec(p, 1).Cores {
+		assignments = append(assignments, Assignment{Core: id, Workload: p})
+	}
+	if _, err := s.RunMulti(assignments, 1); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		seed++
+		if _, err := s.RunMulti(assignments, seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RunMulti allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}

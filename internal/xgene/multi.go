@@ -30,20 +30,23 @@ func (s *Server) RunMulti(assignments []Assignment, seed uint64) (RunResult, err
 	if len(assignments) == 0 {
 		return RunResult{}, errors.New("xgene: no assignments")
 	}
-	seen := map[int]bool{}
+	var seen uint64 // bitmask over core indices; NumCores << 64
 	for _, a := range assignments {
 		if !a.Core.Valid() {
 			return RunResult{}, fmt.Errorf("xgene: invalid core %+v", a.Core)
 		}
-		if seen[a.Core.Index()] {
+		bit := uint64(1) << a.Core.Index()
+		if seen&bit != 0 {
 			return RunResult{}, fmt.Errorf("xgene: core %v assigned twice", a.Core)
 		}
-		seen[a.Core.Index()] = true
+		seen |= bit
 		if err := a.Workload.Validate(); err != nil {
 			return RunResult{}, err
 		}
 	}
-	runRng := s.rng.Split(fmt.Sprintf("runmulti/%d/%d", len(assignments), seed))
+	// Incremental label: same bytes (and hence the same derived stream) as
+	// the old fmt.Sprintf("runmulti/%d/%d", ...), without the allocation.
+	runRng := s.rng.SplitLabel(runMultiLabelPrefix.Int(len(assignments)).Byte('/').Uint(seed))
 
 	// Chip-level droop: mean per-core current (frequency-scaled) plus
 	// mean resonant content, with interference from full-speed cores.

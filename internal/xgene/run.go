@@ -11,6 +11,7 @@ import (
 	"repro/internal/silicon"
 	"repro/internal/simcache"
 	"repro/internal/workloads"
+	"repro/internal/xrand"
 )
 
 // Outcome classifies one run the way the paper's parsing phase does.
@@ -98,15 +99,16 @@ func (r RunSpec) Validate() error {
 	if len(r.Cores) == 0 {
 		return errors.New("xgene: run needs at least one core")
 	}
-	seen := map[int]bool{}
+	var seen uint64 // bitmask over core indices; NumCores << 64
 	for _, id := range r.Cores {
 		if !id.Valid() {
 			return fmt.Errorf("xgene: invalid core %+v", id)
 		}
-		if seen[id.Index()] {
+		bit := uint64(1) << id.Index()
+		if seen&bit != 0 {
 			return fmt.Errorf("xgene: core %v listed twice", id)
 		}
-		seen[id.Index()] = true
+		seen |= bit
 	}
 	return nil
 }
@@ -142,6 +144,14 @@ func (s *Server) activeFastCores(cores []silicon.CoreID) int {
 	return n
 }
 
+// Pre-interned split-label prefixes for the run hot paths; extending a
+// Label is by-value, so these are safely shared by every server and
+// goroutine in the process.
+var (
+	runLabelPrefix      = xrand.NewLabel("run/")
+	runMultiLabelPrefix = xrand.NewLabel("runmulti/")
+)
+
 // Simulation parameters of the counter model: every run of a profile
 // reports the counters of the same 200k-instruction simulation, matching
 // the paper's per-workload counter capture.
@@ -169,7 +179,11 @@ func (s *Server) Run(spec RunSpec) (RunResult, error) {
 	if err := spec.Validate(); err != nil {
 		return RunResult{}, err
 	}
-	runRng := s.rng.Split(fmt.Sprintf("run/%s/%d", spec.Workload.Name, spec.Seed))
+	// The split label spells "run/<workload>/<seed>" exactly as the old
+	// fmt.Sprintf did (the derived stream is pinned by the xrand label
+	// equivalence tests), but hashes it incrementally: no string is built,
+	// so the hottest line of the run path allocates nothing.
+	runRng := s.rng.SplitLabel(runLabelPrefix.Str(spec.Workload.Name).Byte('/').Uint(spec.Seed))
 
 	ctr, err := s.counters(spec.Workload)
 	if err != nil {

@@ -112,7 +112,21 @@ func (s *Server) ClearEvents() { s.events = nil }
 
 // recordRunEvents translates a run's observable effects into SLIMpro
 // events, capped per run so a pathological scan cannot flood the ring.
+// Clean runs with no scan findings log nothing, so the sensor snapshot
+// (and its per-DIMM temperature allocation) is taken only when at least
+// one event will actually carry it; DIMMTemp is a pure sensor read, so
+// deferring it never changes what gets stamped.
 func (s *Server) recordRunEvents(res *RunResult, scan *dram.ScanResult) {
+	logsCore := false
+	switch res.Outcome {
+	case OutcomeCE, OutcomeUE, OutcomeSDC:
+		logsCore = res.FailingCore.Valid()
+	case OutcomeCrash, OutcomeHang:
+		logsCore = true
+	}
+	if (scan == nil || len(scan.Failures) == 0) && !logsCore {
+		return
+	}
 	snap := s.snapshot(res.Power)
 	const perRunCap = 64
 	if scan != nil {

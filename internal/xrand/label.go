@@ -1,0 +1,91 @@
+package xrand
+
+// Label is an incrementally built split label: the FNV-64 hash a
+// Stream.Split of the equivalent string would compute, accumulated piece
+// by piece without materializing the string. Hot paths that used to build
+// labels with fmt.Sprintf (one allocation per run) pre-intern the constant
+// prefix once and append the variable parts per run with zero allocations:
+//
+//	var runPrefix = xrand.NewLabel("run/")
+//	...
+//	lbl := runPrefix.Str(workloadName).Byte('/').Uint(seed)
+//	stream := root.SplitLabel(lbl) // allocation-free
+//
+// Label is a value type; each append returns a new Label, so a prefix can
+// be extended concurrently by any number of goroutines.
+type Label struct {
+	h uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewLabel starts a label with the given initial text.
+func NewLabel(s string) Label {
+	return Label{h: fnvOffset}.Str(s)
+}
+
+// Str appends a string to the label.
+func (l Label) Str(s string) Label {
+	h := l.h
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return Label{h: h}
+}
+
+// Byte appends a single byte.
+func (l Label) Byte(b byte) Label {
+	return Label{h: (l.h ^ uint64(b)) * fnvPrime}
+}
+
+// Int appends the decimal rendering of n, exactly as the %d verb would,
+// so Split(fmt.Sprintf("…%d…")) call sites convert without changing any
+// derived stream.
+func (l Label) Int(n int) Label {
+	u := uint64(n)
+	if n < 0 {
+		l = l.Byte('-')
+		u = -u // two's complement: correct magnitude even for MinInt
+	}
+	return l.Uint(u)
+}
+
+// Uint appends the decimal rendering of n.
+func (l Label) Uint(n uint64) Label {
+	// Render the digits most-significant first into a stack buffer; 20
+	// digits cover a full uint64.
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = '0' + byte(n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	h := l.h
+	for ; i < len(buf); i++ {
+		h ^= uint64(buf[i])
+		h *= fnvPrime
+	}
+	return Label{h: h}
+}
+
+// SplitLabel derives the same child stream Split would for the string the
+// label spells, returned by value so the split allocates nothing.
+func (r *Stream) SplitLabel(l Label) Stream {
+	st := l.h ^ r.s[0] ^ rotl(r.s[2], 17)
+	var c Stream
+	for i := range c.s {
+		c.s[i] = splitmix64(&st)
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = 0x9e3779b97f4a7c15
+	}
+	return c
+}

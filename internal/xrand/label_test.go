@@ -1,0 +1,72 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestSplitLabelMatchesSplit pins the contract that lets hot paths swap
+// Split(fmt.Sprintf(...)) for SplitLabel without perturbing any derived
+// stream: a Label built from the same pieces must yield the exact child
+// state the string-based Split does.
+func TestSplitLabelMatchesSplit(t *testing.T) {
+	strings := []string{
+		"",
+		"a",
+		"run/mcf/0",
+		"runmulti/8/17",
+		"shard/3",
+		"deep/nested/label/with/many/segments",
+		"unicode-é ",
+	}
+	r := New(42)
+	for _, s := range strings {
+		want := r.Split(s)
+		got := r.SplitLabel(NewLabel(s))
+		for i := 0; i < 8; i++ {
+			w, g := want.Uint64(), got.Uint64()
+			if w != g {
+				t.Fatalf("Split(%q) and SplitLabel diverge at draw %d: %x vs %x", s, i, w, g)
+			}
+		}
+	}
+}
+
+// TestLabelPieces checks the incremental builders against fmt.Sprintf for
+// the exact shapes the xgene run loop uses.
+func TestLabelPieces(t *testing.T) {
+	r := New(7)
+	cases := []struct {
+		label Label
+		str   string
+	}{
+		{NewLabel("run/").Str("mcf").Byte('/').Uint(0), fmt.Sprintf("run/%s/%d", "mcf", uint64(0))},
+		{NewLabel("run/").Str("povray").Byte('/').Uint(math.MaxUint64), fmt.Sprintf("run/%s/%d", "povray", uint64(math.MaxUint64))},
+		{NewLabel("runmulti/").Int(8).Byte('/').Uint(12345), fmt.Sprintf("runmulti/%d/%d", 8, uint64(12345))},
+		{NewLabel("").Int(-17), fmt.Sprintf("%d", -17)},
+		{NewLabel("").Int(math.MinInt64), fmt.Sprintf("%d", math.MinInt64)},
+		{NewLabel("").Int(0).Byte('/').Uint(10), fmt.Sprintf("%d/%d", 0, uint64(10))},
+	}
+	for _, c := range cases {
+		want := r.Split(c.str)
+		got := r.SplitLabel(c.label)
+		if w, g := want.Uint64(), got.Uint64(); w != g {
+			t.Errorf("label for %q draws %x, Split draws %x", c.str, g, w)
+		}
+	}
+}
+
+// TestSplitLabelAllocFree pins the reason the API exists.
+func TestSplitLabelAllocFree(t *testing.T) {
+	r := New(1)
+	prefix := NewLabel("run/")
+	name := "mcf"
+	allocs := testing.AllocsPerRun(100, func() {
+		s := r.SplitLabel(prefix.Str(name).Byte('/').Uint(99))
+		_ = s.Uint64()
+	})
+	if allocs != 0 {
+		t.Errorf("SplitLabel path allocates %.1f objects/op, want 0", allocs)
+	}
+}
