@@ -9,7 +9,23 @@
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
 //	          [-cache-max N] [-store-dir dir] [-store-max N] [-warm-load N]
 //	          [-segment-format jsonl|binary] [-drain-timeout d]
-//	          [-pprof-addr host:port]
+//	          [-pprof-addr host:port] [-log-format text|json]
+//	          [-loadtest [-loadtest-submitters N] [-loadtest-campaigns N]
+//	                     [-loadtest-tailers M] [-loadtest-out file]]
+//
+// The daemon emits one structured log line per campaign lifecycle event
+// (queued, running, committed, finished, cache hit, drain), each carrying
+// the campaign's trace ID — the same ID returned in the submit response,
+// the X-Trace-ID headers and the stream metadata — plus one startup line
+// with the effective configuration. -log-format selects text (default) or
+// JSON encoding. GET /metrics exposes every layer's counters in Prometheus
+// text format, and GET /version reports the build.
+//
+// With -loadtest the daemon instead drives its built-in load harness
+// (internal/loadtest) against its own listener — N concurrent submitters x
+// unique campaigns, M stream tailers each — prints the result JSON
+// (throughput plus exact p50/p90/p99 submit, first-record and stream
+// latencies; see BENCH_load.json), and exits.
 //
 // With -store-dir the daemon is durable: every finished campaign's record
 // stream is committed to an on-disk segment store, a restarted daemon
@@ -51,10 +67,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -64,6 +82,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/loadtest"
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
@@ -94,6 +113,12 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	segFormat := fs.String("segment-format", "", "on-disk segment encoding for new commits: jsonl (default) or binary; existing segments of either format always load")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns to finish and commit")
 	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this separate listener (empty = disabled)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json (one line per campaign lifecycle event, each carrying its trace ID)")
+	ltRun := fs.Bool("loadtest", false, "run the built-in load harness against this daemon's own listener, print the result JSON, and exit")
+	ltSubmitters := fs.Int("loadtest-submitters", 4, "loadtest: concurrent submit workers")
+	ltCampaigns := fs.Int("loadtest-campaigns", 4, "loadtest: campaigns per submitter (unique specs, no cache hits)")
+	ltTailers := fs.Int("loadtest-tailers", 2, "loadtest: concurrent stream tailers per campaign")
+	ltOut := fs.String("loadtest-out", "", "loadtest: write the result JSON to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -113,6 +138,15 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	if *segFormat != "" && *storeDir == "" {
 		return errors.New("-segment-format needs -store-dir")
 	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(w, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(w, nil))
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
 
 	srv, err := serve.New(serve.Options{
 		QueueDepth:       *queue,
@@ -122,6 +156,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		StoreMaxSegments: *storeMax,
 		WarmLoad:         *warmLoad,
 		SegmentFormat:    format,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
@@ -172,6 +207,41 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	}
 
 	hs := &http.Server{Handler: srv}
+	if *ltRun {
+		// Loadtest mode: serve on the real listener, hammer it over HTTP
+		// exactly as fleet clients would, report, exit. The harness's
+		// numbers are end-to-end (router, queue, engine, fan-out).
+		go hs.Serve(ln)
+		res, err := loadtest.Run(ctx, loadtest.Config{
+			BaseURL:               "http://" + ln.Addr().String(),
+			Submitters:            *ltSubmitters,
+			CampaignsPerSubmitter: *ltCampaigns,
+			Tailers:               *ltTailers,
+		})
+		hs.Close()
+		if err != nil {
+			return fmt.Errorf("loadtest: %w", err)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *ltOut != "" {
+			if err := os.WriteFile(*ltOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "campaignd loadtest result written to %s\n", *ltOut)
+		} else {
+			w.Write(data)
+		}
+		fmt.Fprintf(w, "campaignd loadtest: %d campaigns, %.0f records/s, submit p99 %.2fms, stream p99 %.2fms, %d errors\n",
+			res.Campaigns, res.RecordsPerS, res.Submit.P99MS, res.Stream.P99MS, res.Errors)
+		if res.Errors > 0 {
+			return fmt.Errorf("loadtest: %d request errors", res.Errors)
+		}
+		return nil
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -270,6 +271,116 @@ func TestDaemonSmoke(t *testing.T) {
 	for _, want := range []string{"campaignd listening on http://", "campaignd: shut down"} {
 		if !strings.Contains(log, want) {
 			t.Errorf("daemon log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestDaemonLoadtest pins -loadtest end to end: the daemon hammers its own
+// listener, writes a BENCH_load.json-shaped result to -loadtest-out, and
+// exits zero without waiting for a signal.
+func TestDaemonLoadtest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench_load.json")
+	var log syncWriter
+	err := run(context.Background(), &log, []string{
+		"-addr", "127.0.0.1:0", "-concurrency", "2",
+		"-loadtest", "-loadtest-submitters", "2", "-loadtest-campaigns", "1",
+		"-loadtest-tailers", "1", "-loadtest-out", out,
+	}, nil)
+	if err != nil {
+		t.Fatalf("loadtest run: %v\nlog:\n%s", err, log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Campaigns int `json:"campaigns"`
+		Errors    int `json:"errors"`
+		Submit    struct {
+			P99MS float64 `json:"p99_ms"`
+		} `json:"submit"`
+		Stream struct {
+			P99MS float64 `json:"p99_ms"`
+		} `json:"stream"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("result not JSON: %v\n%s", err, data)
+	}
+	if res.Campaigns != 2 || res.Errors != 0 {
+		t.Errorf("campaigns=%d errors=%d, want 2 and 0", res.Campaigns, res.Errors)
+	}
+	if res.Submit.P99MS <= 0 || res.Stream.P99MS <= 0 {
+		t.Errorf("p99s not positive: submit %g stream %g", res.Submit.P99MS, res.Stream.P99MS)
+	}
+	if !strings.Contains(log.String(), "campaignd loadtest:") {
+		t.Errorf("missing loadtest summary line:\n%s", log.String())
+	}
+}
+
+// TestDaemonJSONLogs pins -log-format json: lifecycle events arrive as
+// parseable JSON lines carrying the campaign's trace ID — the same ID the
+// submit response returned.
+func TestDaemonJSONLogs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncWriter
+	base, errc := startDaemon(t, ctx, &out, []string{"-addr", "127.0.0.1:0", "-log-format", "json"})
+
+	spec := `{"seed":11,"benches":["mcf"],"voltages_mv":[980],"repetitions":1}`
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Stream  string `json:"stream"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.TraceID == "" {
+		t.Fatal("submit response missing trace_id")
+	}
+	if h := resp.Header.Get("X-Trace-ID"); h != sub.TraceID {
+		t.Errorf("X-Trace-ID header %q != body trace_id %q", h, sub.TraceID)
+	}
+	stream, err := http.Get(base + sub.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, stream.Body)
+	stream.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// Every JSON log line must parse; the lifecycle lines carry the trace.
+	sawLifecycle := map[string]bool{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if line == "" || !strings.HasPrefix(line, "{") {
+			continue // plain banner lines (listening, shut down)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("unparseable JSON log line: %q: %v", line, err)
+			continue
+		}
+		msg, _ := rec["msg"].(string)
+		if trace, _ := rec["trace_id"].(string); trace == sub.TraceID {
+			sawLifecycle[msg] = true
+		}
+	}
+	for _, want := range []string{"campaign queued", "campaign running", "campaign finished"} {
+		if !sawLifecycle[want] {
+			t.Errorf("no JSON log line %q with trace %s\nlogs:\n%s", want, sub.TraceID, out.String())
 		}
 	}
 }

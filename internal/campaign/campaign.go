@@ -182,6 +182,7 @@ func (c *Ctx) FleetBoard(i int) (*xgene.Server, *core.Framework, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("fab fleet board %d: %w", i, err)
 		}
+		obsBoardFabs.Inc()
 	}
 	fw, err := core.NewFramework(srv)
 	if err != nil {
@@ -389,6 +390,7 @@ func (p *boardPool) acquire(key boardKey) *xgene.Server {
 	if n := len(list); n > 0 {
 		srv := list[n-1]
 		p.free[key] = list[:n-1]
+		obsPoolCheckouts.Inc()
 		return srv
 	}
 	return nil
@@ -520,6 +522,7 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 		names[sh.Name] = true
 	}
 
+	start := time.Now()
 	workers := cfg.effectiveWorkers(len(shards))
 	ctx := cfg.Context
 	if ctx == nil {
@@ -582,6 +585,14 @@ dispatch:
 	rep := &Report[T]{Results: results, Workers: workers}
 	for _, res := range results {
 		rep.Stats.add(res.Stats)
+	}
+	// Bookkeeping is observed once per campaign, off the record hot path.
+	obsCampaigns.Inc()
+	obsRunSeconds.Observe(time.Since(start))
+	obsRuns.Add(uint64(rep.Stats.Runs))
+	obsRecoveries.Add(uint64(rep.Stats.Recoveries))
+	if rep.Stats.Planned > 0 {
+		obsPlannedRuns.Add(uint64(rep.Stats.Planned))
 	}
 	err := rep.Err()
 	if err == nil {

@@ -1,0 +1,24 @@
+package campaign
+
+import "repro/internal/obs"
+
+// Engine metrics (process-wide, auto-registered in the obs default
+// registry; campaignd serves them on GET /metrics). Everything here is
+// observed per campaign or per board — never per record — so the run hot
+// path stays allocation-free.
+var (
+	obsCampaigns = obs.NewCounter("campaign_campaigns_total",
+		"Campaigns executed by the engine (uniform grids and adaptive schedules).")
+	obsRunSeconds = obs.NewHistogram("campaign_run_seconds",
+		"Wall-clock latency of one engine campaign, dispatch to aggregated report.", nil)
+	obsRuns = obs.NewCounter("campaign_runs_total",
+		"Characterization runs executed across all campaigns.")
+	obsPlannedRuns = obs.NewCounter("campaign_planned_runs_total",
+		"Runs an exhaustive sweep of the same campaigns would have scheduled; minus campaign_runs_total this is the work adaptive scheduling avoided.")
+	obsRecoveries = obs.NewCounter("campaign_recoveries_total",
+		"Runs that required watchdog reset or reboot.")
+	obsPoolCheckouts = obs.NewCounter("campaign_board_pool_checkouts_total",
+		"Boards checked out of the shared fleet pool (each one a fabrication avoided).")
+	obsBoardFabs = obs.NewCounter("campaign_board_fabrications_total",
+		"Boards fabricated because the pool held no idle match (or the shard demanded a fresh board).")
+)

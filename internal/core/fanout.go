@@ -113,6 +113,7 @@ type ChanSink struct {
 	c       chan RunRecord
 	policy  ChanPolicy
 	dropped atomic.Uint64
+	onDrop  func(n uint64)
 }
 
 // NewChanSink returns a ChanSink with the given buffer depth and policy.
@@ -120,17 +121,32 @@ func NewChanSink(buffer int, policy ChanPolicy) *ChanSink {
 	return &ChanSink{c: make(chan RunRecord, buffer), policy: policy}
 }
 
+// OnDrop registers a hook called once per record the Drop policy
+// discards, with the new cumulative drop count — the plumbing that lets a
+// serving layer surface slow-subscriber loss in its metrics instead of
+// losing records silently. Set it before the sink starts receiving;
+// the hook runs on the producer goroutine and must not block. Returns the
+// sink for chaining.
+func (s *ChanSink) OnDrop(fn func(total uint64)) *ChanSink {
+	s.onDrop = fn
+	return s
+}
+
 // C is the consumer side of the sink.
 func (s *ChanSink) C() <-chan RunRecord { return s.c }
 
 // Record implements Sink under the configured policy. It never returns an
-// error: with Block it waits, with Drop it counts.
+// error: with Block it waits, with Drop it counts (and notifies the
+// OnDrop hook, when set).
 func (s *ChanSink) Record(rec RunRecord) error {
 	if s.policy == Drop {
 		select {
 		case s.c <- rec:
 		default:
-			s.dropped.Add(1)
+			n := s.dropped.Add(1)
+			if s.onDrop != nil {
+				s.onDrop(n)
+			}
 		}
 		return nil
 	}

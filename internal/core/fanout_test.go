@@ -179,3 +179,31 @@ func TestMultiSinkWithChanSinks(t *testing.T) {
 		t.Errorf("lossy subscriber dropped %d, want %d", lossy.Dropped(), n-1)
 	}
 }
+
+// TestChanSinkOnDropHook pins the slow-subscriber drop plumbing: the hook
+// fires once per discarded record with the cumulative count, and never
+// for delivered records.
+func TestChanSinkOnDropHook(t *testing.T) {
+	var calls []uint64
+	s := NewChanSink(2, Drop).OnDrop(func(total uint64) { calls = append(calls, total) })
+	const n = 5
+	for i := 0; i < n; i++ {
+		s.Record(rec(i))
+	}
+	if s.Dropped() != n-2 {
+		t.Fatalf("dropped %d, want %d", s.Dropped(), n-2)
+	}
+	if len(calls) != n-2 {
+		t.Fatalf("hook fired %d times, want %d", len(calls), n-2)
+	}
+	for i, total := range calls {
+		if total != uint64(i+1) {
+			t.Errorf("hook call %d reported total %d, want %d", i, total, i+1)
+		}
+	}
+	// A Block-policy sink with room never invokes the hook.
+	b := NewChanSink(8, Block).OnDrop(func(uint64) { t.Error("hook fired on Block policy") })
+	for i := 0; i < 4; i++ {
+		b.Record(rec(i))
+	}
+}

@@ -1,0 +1,350 @@
+// Package loadtest is the daemon's built-in load harness: N concurrent
+// submitters drive unique campaign specs through POST /campaigns while M
+// tailers per campaign consume the NDJSON streams, and the harness reports
+// throughput plus exact (sorted-sample, nearest-rank) latency percentiles
+// for the three client-visible phases — submit round-trip, time to first
+// streamed record, and full stream duration. campaignd -loadtest runs it
+// against an in-process listener and writes the Result as JSON; CI commits
+// one as BENCH_load.json and asserts its schema stays intact.
+//
+// The harness speaks plain HTTP against a base URL, so it measures the
+// same path a fleet client pays: router, registry lock, queue, engine,
+// encode-once fan-out. It deliberately does NOT import internal/obs — the
+// numbers here are the external truth the /metrics histograms are checked
+// against.
+package loadtest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config parameterizes a load run. Zero values take the defaults noted on
+// each field, so Config{BaseURL: url} is a valid smoke configuration.
+type Config struct {
+	// BaseURL targets the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Submitters is the number of concurrent submit workers (default 4).
+	Submitters int
+	// CampaignsPerSubmitter is how many unique campaigns each submitter
+	// drives, one after another (default 4). Seeds are derived per
+	// campaign, so every submission is a cache miss that runs the engine.
+	CampaignsPerSubmitter int
+	// Tailers is how many concurrent stream consumers attach to each
+	// campaign (default 2): every tailer reads the same fan-out bytes, so
+	// this multiplies stream-side load without adding engine work.
+	Tailers int
+	// Seed offsets the derived per-campaign seeds, letting repeated runs
+	// against a durable store avoid replay hits (default 1).
+	Seed uint64
+	// Benches / VoltagesMV / Repetitions shape each campaign's grid
+	// (defaults: mcf+cactusADM, 980/930/880 mV, 2 repetitions — the same
+	// scale the serve benchmarks use).
+	Benches     []string
+	VoltagesMV  []float64
+	Repetitions int
+	// Workers is the per-campaign engine worker count (default 0 = auto).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Submitters <= 0 {
+		c.Submitters = 4
+	}
+	if c.CampaignsPerSubmitter <= 0 {
+		c.CampaignsPerSubmitter = 4
+	}
+	if c.Tailers <= 0 {
+		c.Tailers = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Benches) == 0 {
+		c.Benches = []string{"mcf", "cactusADM"}
+	}
+	if len(c.VoltagesMV) == 0 {
+		c.VoltagesMV = []float64{980, 930, 880}
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 2
+	}
+	return c
+}
+
+// LatencySummary is one phase's distribution in milliseconds, computed
+// exactly from the sorted sample set (nearest-rank percentiles), not
+// estimated from histogram buckets.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MinMS  float64 `json:"min_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Result is the harness report, the schema committed as BENCH_load.json.
+type Result struct {
+	// Shape echoes the effective configuration so a committed result is
+	// self-describing.
+	Submitters  int `json:"submitters"`
+	Campaigns   int `json:"campaigns"`
+	Tailers     int `json:"tailers_per_campaign"`
+	GridRecords int `json:"grid_records_per_campaign"`
+
+	DurationS     float64 `json:"duration_s"`
+	Records       int64   `json:"records_streamed"`
+	StreamedBytes int64   `json:"streamed_bytes"`
+	CampaignsPerS float64 `json:"campaigns_per_s"`
+	RecordsPerS   float64 `json:"records_per_s"`
+	Errors        int     `json:"errors"`
+
+	// Submit is the POST /campaigns round-trip; FirstRecord the time from
+	// opening the stream to its first complete record line (queue wait +
+	// scheduling + first grid point, the latency a dashboard tail feels);
+	// Stream the full open-to-EOF duration.
+	Submit      LatencySummary `json:"submit"`
+	FirstRecord LatencySummary `json:"first_record"`
+	Stream      LatencySummary `json:"stream"`
+}
+
+// summarize computes the exact distribution of a sample set.
+func summarize(durs []time.Duration) LatencySummary {
+	if len(durs) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	// Nearest-rank: the smallest sample ≥ the requested fraction of the set.
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return LatencySummary{
+		Count:  len(sorted),
+		MinMS:  ms(sorted[0]),
+		MeanMS: ms(sum) / float64(len(sorted)),
+		P50MS:  ms(rank(0.50)),
+		P90MS:  ms(rank(0.90)),
+		P99MS:  ms(rank(0.99)),
+		MaxMS:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+// collector accumulates samples from every worker goroutine.
+type collector struct {
+	mu          sync.Mutex
+	submit      []time.Duration
+	firstRecord []time.Duration
+	stream      []time.Duration
+	records     int64
+	bytes       int64
+	errors      int
+	firstErr    error
+}
+
+func (c *collector) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errors++
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+}
+
+// submitResponse mirrors the daemon's POST /campaigns reply.
+type submitResponse struct {
+	ID      string `json:"id"`
+	Cached  bool   `json:"cached"`
+	Stream  string `json:"stream"`
+	TraceID string `json:"trace_id"`
+}
+
+// Run drives the configured load against cfg.BaseURL and reports the
+// measured distributions. It returns an error only when the harness could
+// not run at all (unreachable daemon, cancelled context); individual
+// request failures are counted in Result.Errors.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL required")
+	}
+	client := &http.Client{}
+	col := &collector{}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for sub := 0; sub < cfg.Submitters; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			for i := 0; i < cfg.CampaignsPerSubmitter; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				// A unique seed per campaign makes every fingerprint fresh:
+				// the engine runs each grid, nothing is a cache hit.
+				seed := cfg.Seed + uint64(sub)*1_000_000 + uint64(i)
+				runCampaign(ctx, client, cfg, seed, col)
+			}
+		}(sub)
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.submit) == 0 {
+		return nil, fmt.Errorf("loadtest: no campaign submitted successfully: %w", col.firstErr)
+	}
+	elapsed := time.Since(start)
+	totalCampaigns := len(col.submit)
+	res := &Result{
+		Submitters:  cfg.Submitters,
+		Campaigns:   totalCampaigns,
+		Tailers:     cfg.Tailers,
+		GridRecords: len(cfg.Benches) * len(cfg.VoltagesMV) * cfg.Repetitions,
+
+		DurationS:     elapsed.Seconds(),
+		Records:       col.records,
+		StreamedBytes: col.bytes,
+		CampaignsPerS: float64(totalCampaigns) / elapsed.Seconds(),
+		RecordsPerS:   float64(col.records) / elapsed.Seconds(),
+		Errors:        col.errors,
+
+		Submit:      summarize(col.submit),
+		FirstRecord: summarize(col.firstRecord),
+		Stream:      summarize(col.stream),
+	}
+	return res, nil
+}
+
+// runCampaign submits one spec and fans cfg.Tailers stream consumers out
+// over the resulting campaign, blocking until all of them reach EOF — so a
+// submitter's in-flight load is bounded and measurable.
+func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint64, col *collector) {
+	spec := serve.Spec{
+		Seed:        seed,
+		Benches:     cfg.Benches,
+		VoltagesMV:  cfg.VoltagesMV,
+		Repetitions: cfg.Repetitions,
+		Workers:     cfg.Workers,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		col.fail(err)
+		return
+	}
+
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "POST", cfg.BaseURL+"/campaigns", bytes.NewReader(body))
+	if err != nil {
+		col.fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		col.fail(err)
+		return
+	}
+	var sr submitResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	submitLat := time.Since(t0)
+	if decErr != nil {
+		col.fail(decErr)
+		return
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		col.fail(fmt.Errorf("loadtest: submit status %d", resp.StatusCode))
+		return
+	}
+	col.mu.Lock()
+	col.submit = append(col.submit, submitLat)
+	col.mu.Unlock()
+
+	var tails sync.WaitGroup
+	for tail := 0; tail < cfg.Tailers; tail++ {
+		tails.Add(1)
+		go func() {
+			defer tails.Done()
+			tailStream(ctx, client, cfg.BaseURL+sr.Stream, col)
+		}()
+	}
+	tails.Wait()
+}
+
+// tailStream consumes one campaign stream to EOF, sampling time-to-first-
+// record and total stream duration.
+func tailStream(ctx context.Context, client *http.Client, url string, col *collector) {
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		col.fail(err)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		col.fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		col.fail(fmt.Errorf("loadtest: stream status %d", resp.StatusCode))
+		return
+	}
+	var (
+		firstRecord time.Duration
+		records     int64
+		bytesRead   int64
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if records == 0 {
+			firstRecord = time.Since(t0)
+		}
+		records++
+		bytesRead += int64(len(sc.Bytes())) + 1
+	}
+	streamLat := time.Since(t0)
+	if err := sc.Err(); err != nil {
+		col.fail(err)
+		return
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if records > 0 {
+		col.firstRecord = append(col.firstRecord, firstRecord)
+	}
+	col.stream = append(col.stream, streamLat)
+	col.records += records
+	col.bytes += bytesRead
+}

@@ -1,0 +1,159 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDaemon brings up an in-process server on a real listener.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Options{Concurrency: 2, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// TestRunSmoke drives a tiny load and pins the result invariants: every
+// campaign submitted, every stream completed, record accounting exact,
+// distributions ordered and nonzero.
+func TestRunSmoke(t *testing.T) {
+	ts := startDaemon(t)
+	cfg := Config{
+		BaseURL:               ts.URL,
+		Submitters:            2,
+		CampaignsPerSubmitter: 2,
+		Tailers:               2,
+		Benches:               []string{"mcf"},
+		VoltagesMV:            []float64{980, 930},
+		Repetitions:           1,
+		Workers:               1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors: %d", res.Errors)
+	}
+	wantCampaigns := cfg.Submitters * cfg.CampaignsPerSubmitter
+	if res.Campaigns != wantCampaigns {
+		t.Errorf("campaigns = %d, want %d", res.Campaigns, wantCampaigns)
+	}
+	if res.GridRecords != 2 {
+		t.Errorf("grid records per campaign = %d, want 2", res.GridRecords)
+	}
+	// Every tailer reads every record of its campaign.
+	wantRecords := int64(wantCampaigns * cfg.Tailers * res.GridRecords)
+	if res.Records != wantRecords {
+		t.Errorf("records streamed = %d, want %d", res.Records, wantRecords)
+	}
+	if res.StreamedBytes <= 0 {
+		t.Error("streamed bytes not positive")
+	}
+	if res.DurationS <= 0 || res.RecordsPerS <= 0 || res.CampaignsPerS <= 0 {
+		t.Errorf("throughput not positive: %+v", res)
+	}
+
+	for name, s := range map[string]LatencySummary{
+		"submit": res.Submit, "first_record": res.FirstRecord, "stream": res.Stream,
+	} {
+		if s.Count == 0 {
+			t.Errorf("%s: empty sample set", name)
+			continue
+		}
+		if s.P99MS <= 0 {
+			t.Errorf("%s: p99 = %g, want > 0", name, s.P99MS)
+		}
+		if !(s.MinMS <= s.P50MS && s.P50MS <= s.P90MS && s.P90MS <= s.P99MS && s.P99MS <= s.MaxMS) {
+			t.Errorf("%s: percentiles out of order: %+v", name, s)
+		}
+	}
+	if res.Submit.Count != wantCampaigns {
+		t.Errorf("submit samples = %d, want %d", res.Submit.Count, wantCampaigns)
+	}
+	if res.Stream.Count != wantCampaigns*cfg.Tailers {
+		t.Errorf("stream samples = %d, want %d", res.Stream.Count, wantCampaigns*cfg.Tailers)
+	}
+
+	// The Result is the BENCH_load.json schema: it must round-trip with
+	// the field names CI asserts on.
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"submitters", "campaigns", "tailers_per_campaign", "duration_s",
+		"records_streamed", "records_per_s", "errors",
+		"submit", "first_record", "stream",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("result JSON missing %q", key)
+		}
+	}
+	for _, phase := range []string{"submit", "first_record", "stream"} {
+		obj, ok := m[phase].(map[string]any)
+		if !ok {
+			t.Errorf("result JSON %q not an object", phase)
+			continue
+		}
+		for _, key := range []string{"count", "min_ms", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("result JSON %s missing %q", phase, key)
+			}
+		}
+	}
+}
+
+// TestSummarize pins the exact nearest-rank percentile math on a known
+// sample set.
+func TestSummarize(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	s := summarize(durs)
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.MinMS != 1 || s.MaxMS != 100 {
+		t.Errorf("min/max = %g/%g", s.MinMS, s.MaxMS)
+	}
+	if s.P50MS != 50 {
+		t.Errorf("p50 = %g, want 50", s.P50MS)
+	}
+	if s.P90MS != 90 {
+		t.Errorf("p90 = %g, want 90", s.P90MS)
+	}
+	if s.P99MS != 99 {
+		t.Errorf("p99 = %g, want 99", s.P99MS)
+	}
+	if s.MeanMS != 50.5 {
+		t.Errorf("mean = %g, want 50.5", s.MeanMS)
+	}
+
+	if s := summarize(nil); s.Count != 0 {
+		t.Errorf("empty summary count = %d", s.Count)
+	}
+	one := summarize([]time.Duration{5 * time.Millisecond})
+	if one.P50MS != 5 || one.P99MS != 5 || one.MinMS != 5 || one.MaxMS != 5 {
+		t.Errorf("single-sample summary: %+v", one)
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs tie one campaign's whole life together across log lines,
+// HTTP responses and stream metadata: generated once at submission,
+// echoed as the X-Trace-ID header everywhere the campaign surfaces, and
+// attached to every structured log line the daemon writes about it —
+// submit, queue, run, commit, replay. They are observability handles,
+// not security tokens: uniqueness within a fleet's log-retention window
+// is all they promise.
+
+// traceCounter breaks ties when two IDs are minted in the same
+// nanosecond or the entropy source fails.
+var traceCounter atomic.Uint64
+
+// NewTraceID returns a 16-hex-character trace ID. The eight underlying
+// bytes come from crypto/rand when available, falling back to a
+// time+counter mix so ID generation can never fail or block a
+// submission.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		mix := uint64(time.Now().UnixNano())*0x9e3779b97f4a7c15 ^ traceCounter.Add(1)
+		binary.BigEndian.PutUint64(b[:], mix)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a client-supplied trace ID is safe to
+// adopt: non-empty, bounded, and free of characters that could smuggle
+// header or log-line structure. The daemon accepts caller IDs (so a
+// client can stitch its own request logs to the daemon's) but never
+// trusts them further than this shape check.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -51,6 +53,15 @@ type Campaign struct {
 	hydrated      bool
 	storedRecords int
 
+	// traceID follows the campaign through every layer: echoed in the
+	// submit response and X-Trace-ID headers (cache hits included),
+	// attached to stream metadata and structured log lines. It is set
+	// once at admission and immutable after, so readers need no lock.
+	traceID string
+	// queuedAt feeds the queue-wait histogram; written at admission,
+	// read once when execution starts.
+	queuedAt time.Time
+
 	// lastUsed is the server's LRU clock for this entry; it is read and
 	// written only under the Server's mutex, never this Campaign's.
 	lastUsed uint64
@@ -79,6 +90,9 @@ func newStoredCampaign(id string, spec Spec, fingerprint string, extra *core.Mul
 	c.workers = workers
 	c.fromStore = true
 	c.storedRecords = records
+	// The original submission's trace died with the process that ran it;
+	// adopted campaigns get a fresh ID so replays are still traceable.
+	c.traceID = obs.NewTraceID()
 	return c
 }
 
@@ -212,6 +226,9 @@ type View struct {
 	Error       string `json:"error,omitempty"`
 	Fingerprint string `json:"fingerprint"`
 	Spec        Spec   `json:"spec"`
+	// TraceID is the submission trace this campaign runs under (see
+	// submitResponse.TraceID).
+	TraceID string `json:"trace_id,omitempty"`
 	// Records counts buffered (already streamed) records so far; for a
 	// store-backed campaign that has not hydrated yet it counts the
 	// records waiting on disk.
@@ -247,6 +264,7 @@ func (c *Campaign) view() View {
 		Status:      c.status,
 		Error:       c.errMsg,
 		Fingerprint: c.fingerprint,
+		TraceID:     c.traceID,
 		Spec:        c.spec,
 		Records:     records,
 		Stored:      c.fromStore,

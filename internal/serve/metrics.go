@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Service-layer metrics (process-wide; GET /metrics renders them in
+// Prometheus text format). The per-server /stats JSON reports the same
+// story scoped to one Server instance; these are the fleet-scrapeable
+// aggregates. Counters sit off the record hot path: submissions, queue
+// transitions and stream lifecycles are per-campaign events, and the
+// per-frame stream byte counter is one atomic add per write.
+var (
+	mSubmissions = obs.NewCounterVec("campaignd_submissions_total",
+		"Campaign submissions by outcome: accepted (a new grid run was scheduled), cached (answered from memory or disk), rejected (invalid spec, full queue, or draining).",
+		"result", "accepted", "cached", "rejected")
+	mCampaignsRun = obs.NewCounter("campaignd_campaigns_run_total",
+		"Campaigns the scheduler handed to the engine (cache and replay hits excluded).")
+	mReplayHits = obs.NewCounter("campaignd_replay_hits_total",
+		"Submissions answered by replaying a durable-store segment instead of re-running.")
+	mEvictions = obs.NewCounter("campaignd_evictions_total",
+		"Finished campaigns evicted from the registry by the cache bound.")
+	mQueueLen = obs.NewGauge("campaignd_queue_length",
+		"Campaigns admitted but not yet executing.")
+	mQueueWait = obs.NewHistogram("campaignd_queue_wait_seconds",
+		"Time a campaign spent queued between admission and execution.", nil)
+	mSubscribers = obs.NewGauge("campaignd_active_subscribers",
+		"Stream subscribers currently attached (NDJSON and SSE).")
+	mStreamBytes = obs.NewCounter("campaignd_stream_bytes_total",
+		"Bytes written to stream subscribers, shared pre-rendered frames included.")
+	mDroppedRecords = obs.NewCounter("campaignd_dropped_records_total",
+		"Records discarded by Drop-policy subscriber sinks that fell behind the broadcast (see core.ChanSink).")
+	mDraining = obs.NewGauge("campaignd_draining",
+		"1 while the server is draining for shutdown (new submissions get 503).")
+	mStoreErrors = obs.NewCounter("campaignd_store_errors_total",
+		"Persistence failures (the affected campaigns themselves completed).")
+)
+
+// handleMetrics serves the process-wide obs registry: every layer's
+// counters (serve, campaign engine, store, wire) in one scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := obs.Default().WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		s.logger.Error("metrics exposition failed", "err", err)
+	}
+}
+
+// buildInfo is the version surface shared by GET /version and /stats.
+type buildInfo struct {
+	// Module and Version identify the main module ("(devel)" for a
+	// non-module build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Revision is the VCS commit when the binary was built from one.
+	Revision  string `json:"revision,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+// readBuildInfo snapshots the binary's identity once at startup.
+func readBuildInfo() buildInfo {
+	info := buildInfo{GoVersion: runtime.Version(), Module: "unknown", Version: "(devel)"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				info.Revision = kv.Value
+			}
+		}
+	}
+	return info
+}
+
+// versionResponse is the GET /version reply.
+type versionResponse struct {
+	buildInfo
+	UptimeS float64 `json:"uptime_s"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, versionResponse{
+		buildInfo: s.build,
+		UptimeS:   time.Since(s.start).Seconds(),
+	})
+}
+
+// SubscribeChan subscribes a Drop-policy ChanSink of the given buffer
+// depth to the server's broadcast spool, wired into the slow-subscriber
+// drop accounting: records the consumer fails to keep up with are
+// discarded (never stalling a campaign) and counted in /stats
+// ("dropped_records") and the campaignd_dropped_records_total metric.
+// The returned cancel function unsubscribes and closes the sink.
+func (s *Server) SubscribeChan(buffer int) (*core.ChanSink, func()) {
+	sink := core.NewChanSink(buffer, core.Drop).OnDrop(func(uint64) {
+		s.subDrops.Add(1)
+		mDroppedRecords.Inc()
+	})
+	id := s.spool.Subscribe(sink)
+	return sink, func() {
+		s.spool.Unsubscribe(id)
+		sink.Close()
+	}
+}
+
+// countWrite tracks stream handler writes in the fan-out byte counter.
+func countWrite(n int, err error) error {
+	if n > 0 {
+		mStreamBytes.Add(uint64(n))
+	}
+	return err
+}

@@ -44,13 +44,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -104,20 +107,35 @@ type Options struct {
 	// from disk with no re-run. Zero means CacheMax (adopting more than
 	// the registry cap would evict the excess immediately anyway).
 	WarmLoad int
+	// Logger receives the daemon's structured log stream: one startup
+	// line with the effective configuration, then one line per campaign
+	// lifecycle event (submit, run, finish, commit, replay, drain), each
+	// carrying the campaign's trace ID so a single characterization can
+	// be followed across logs, metrics and stream metadata. Nil discards
+	// everything — the library never logs behind a caller's back.
+	Logger *slog.Logger
 }
 
 // Server is the campaign service: registry, scheduler, cache and HTTP
 // surface. Create with New, serve with any http.Server, stop with Close.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	spool *core.MultiSink
-	store *store.Store
+	opts   Options
+	mux    *http.ServeMux
+	spool  *core.MultiSink
+	store  *store.Store
+	logger *slog.Logger
+	start  time.Time
+	build  buildInfo
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  chan *Campaign
 	wg     sync.WaitGroup
+
+	// subscribers and subDrops are touched on stream hot paths and kept
+	// out of the registry mutex.
+	subscribers atomic.Int64
+	subDrops    atomic.Uint64
 
 	mu          sync.Mutex
 	byID        map[string]*Campaign
@@ -161,12 +179,19 @@ func New(opts Options) (*Server, error) {
 	if opts.WarmLoad <= 0 {
 		opts.WarmLoad = opts.CacheMax
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
 	s := &Server{
-		opts:  opts,
-		spool: core.NewMultiSink(),
-		queue: make(chan *Campaign, opts.QueueDepth),
-		byID:  make(map[string]*Campaign),
-		byFP:  make(map[string]*Campaign),
+		opts:   opts,
+		spool:  core.NewMultiSink(),
+		logger: logger,
+		start:  time.Now(),
+		build:  readBuildInfo(),
+		queue:  make(chan *Campaign, opts.QueueDepth),
+		byID:   make(map[string]*Campaign),
+		byFP:   make(map[string]*Campaign),
 	}
 	if opts.StoreDir != "" {
 		bootStart := time.Now()
@@ -204,6 +229,8 @@ func New(opts Options) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /campaigns", s.handleList)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
@@ -213,8 +240,29 @@ func New(opts Options) (*Server, error) {
 		s.wg.Add(1)
 		go s.scheduler()
 	}
+	// One structured startup line with the effective configuration: the
+	// first thing an operator greps for when a fleet member misbehaves.
+	s.logger.Info("server started",
+		"queue_depth", opts.QueueDepth,
+		"concurrency", opts.Concurrency,
+		"cache_max", opts.CacheMax,
+		"store_dir", opts.StoreDir,
+		"segment_format", string(opts.SegmentFormat),
+		"warm_loaded", s.warmLoaded,
+		"warm_deferred", s.warmDeferred,
+		"go_version", s.build.GoVersion,
+		"version", s.build.Version,
+	)
 	return s, nil
 }
+
+// discardHandler drops every record: the default logger for library use.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -230,6 +278,13 @@ func (s *Server) Close() {
 	if s.store != nil {
 		s.store.Close()
 	}
+	// The draining gauge tracks live servers; a closed one is not draining.
+	s.mu.Lock()
+	if s.draining {
+		s.draining = false
+		mDraining.Dec()
+	}
+	s.mu.Unlock()
 }
 
 // errDraining rejects submissions during graceful shutdown.
@@ -242,7 +297,11 @@ var errDraining = errors.New("serve: draining, no new submissions")
 // Closes the server; nothing measured before the drain is lost.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		mDraining.Inc()
+		s.logger.Info("draining", "uptime_s", time.Since(s.start).Seconds())
+	}
 	s.mu.Unlock()
 	for {
 		// Every queued campaign is registered, so the registry alone
@@ -290,7 +349,13 @@ func (s *Server) scheduler() {
 // the store is enabled, into an uncommitted segment that becomes durable
 // exactly when the campaign finishes cleanly.
 func (s *Server) execute(c *Campaign) {
+	mQueueLen.Dec()
+	mQueueWait.Observe(time.Since(c.queuedAt))
 	c.setRunning()
+	runStart := time.Now()
+	s.logger.Info("campaign running",
+		"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint,
+		"queue_wait_ms", float64(time.Since(c.queuedAt).Microseconds())/1000)
 	if s.gate != nil {
 		<-s.gate
 	}
@@ -324,10 +389,29 @@ func (s *Server) execute(c *Campaign) {
 				s.noteStoreError()
 			} else if cerr := tee.w.Commit(meta); cerr != nil {
 				s.noteStoreError()
+			} else {
+				s.logger.Info("campaign committed",
+					"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint)
 			}
 		}
 	}
 	c.finish(stats, workers, err)
+	status := "done"
+	if err != nil {
+		status = "failed"
+	}
+	s.logger.Info("campaign finished",
+		"trace_id", c.traceID, "campaign", c.id, "status", status,
+		"runs", stats.Runs, "planned", stats.Planned, "recoveries", stats.Recoveries,
+		"run_ms", float64(time.Since(runStart).Microseconds())/1000, "err", errString(err))
+}
+
+// errString renders an error for a log attribute without nil panics.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // runEngine dispatches to the spec's scheduler and normalizes the
@@ -368,12 +452,14 @@ func (s *Server) countGridRun() {
 	s.mu.Lock()
 	s.gridsRun++
 	s.mu.Unlock()
+	mCampaignsRun.Inc()
 }
 
 func (s *Server) noteStoreError() {
 	s.mu.Lock()
 	s.storeErrors++
 	s.mu.Unlock()
+	mStoreErrors.Inc()
 }
 
 // errQueueFull distinguishes backpressure from bad submissions.
@@ -386,8 +472,22 @@ var errQueueFull = errors.New("serve: run queue full")
 // new grid run was scheduled. A previously failed campaign does not
 // satisfy its fingerprint: resubmitting replaces it with a fresh attempt.
 func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
+	return s.SubmitTraced(spec, obs.NewTraceID())
+}
+
+// SubmitTraced is Submit with a caller-supplied trace ID. A new campaign
+// adopts the ID for its whole life — queue, run, commit, replay — so the
+// submitter's own logs stitch to the daemon's; a submission answered by
+// an existing campaign keeps that campaign's original trace ID (the
+// measurement being followed is the first one). Invalid IDs (see
+// obs.ValidTraceID) are replaced, never rejected.
+func (s *Server) SubmitTraced(spec Spec, trace string) (c *Campaign, cached bool, err error) {
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
+		mSubmissions.With("rejected").Inc()
 		return nil, false, err
 	}
 	fp := spec.Fingerprint()
@@ -401,6 +501,7 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
+			mSubmissions.With("rejected").Inc()
 			return nil, false, errDraining
 		}
 		prev := s.byFP[fp]
@@ -427,25 +528,33 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 			s.cacheHits++
 			if fromDisk {
 				s.replayHits++
+				mReplayHits.Inc()
 			}
 			s.touchLocked(prev)
 			if s.store != nil && prev.fromStore {
 				s.store.Touch(fp)
 			}
 			s.mu.Unlock()
+			mSubmissions.With("cached").Inc()
+			s.logger.Info("submission served from cache",
+				"trace_id", prev.traceID, "campaign", prev.id,
+				"fingerprint", fp, "from_disk", fromDisk)
 			return prev, true, nil
 		}
 		break // miss (or failed predecessor): schedule a fresh run
 	}
-	defer s.mu.Unlock()
 	s.submissions++
 	c = newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, fp, s.spool)
+	c.traceID = trace
+	c.queuedAt = time.Now()
 	// Enqueue and register under one critical section: a rejected
 	// submission leaves no trace, and a registered campaign is always
 	// queued. The send is non-blocking, so holding the lock is safe.
 	select {
 	case s.queue <- c:
 	default:
+		s.mu.Unlock()
+		mSubmissions.With("rejected").Inc()
 		return nil, false, errQueueFull
 	}
 	s.evictLocked()
@@ -454,6 +563,12 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 	s.byFP[fp] = c
 	s.order = append(s.order, c)
 	s.touchLocked(c)
+	s.mu.Unlock()
+	mSubmissions.With("accepted").Inc()
+	mQueueLen.Inc()
+	s.logger.Info("campaign queued",
+		"trace_id", trace, "campaign", c.id, "fingerprint", fp,
+		"strategy", string(spec.Strategy), "benches", len(spec.Benches))
 	return c, false, nil
 }
 
@@ -489,6 +604,7 @@ func (s *Server) evictLocked() {
 			delete(s.byFP, c.fingerprint)
 		}
 		s.evictions++
+		mEvictions.Inc()
 	}
 }
 
@@ -513,6 +629,9 @@ type submitResponse struct {
 	Status      Status `json:"status"`
 	Cached      bool   `json:"cached"`
 	Stream      string `json:"stream"`
+	// TraceID follows the campaign through logs, metrics and stream
+	// metadata; also sent as the X-Trace-ID response header.
+	TraceID string `json:"trace_id"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -528,10 +647,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		mSubmissions.With("rejected").Inc()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode spec: %w", err))
 		return
 	}
-	c, cached, err := s.Submit(spec)
+	// A client-supplied X-Trace-ID seeds a NEW campaign's trace; invalid
+	// or absent ones are minted server-side (obs.ValidTraceID gates what
+	// can reach headers and log lines).
+	c, cached, err := s.SubmitTraced(spec, r.Header.Get("X-Trace-ID"))
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errQueueFull) || errors.Is(err, errDraining) || errors.Is(err, errStoreUnavailable) {
@@ -544,12 +667,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if cached {
 		status = http.StatusOK
 	}
+	w.Header().Set("X-Trace-ID", c.traceID)
 	writeJSON(w, status, submitResponse{
 		ID:          c.id,
 		Fingerprint: c.fingerprint,
 		Status:      c.Status(),
 		Cached:      cached,
 		Stream:      "/campaigns/" + c.id + "/stream",
+		TraceID:     c.traceID,
 	})
 }
 
@@ -602,7 +727,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.Header().Set("Cache-Control", "no-cache")
+	// The trace ID travels as stream metadata only — a header, never a
+	// body byte — because the NDJSON body is contractually byte-identical
+	// to the batch report.
+	w.Header().Set("X-Trace-ID", c.traceID)
 	flusher, _ := w.(http.Flusher)
+
+	s.subscribers.Add(1)
+	mSubscribers.Inc()
+	defer func() {
+		s.subscribers.Add(-1)
+		mSubscribers.Dec()
+	}()
 
 	i := 0
 	for {
@@ -615,16 +751,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// campaign. SSE reuses the line minus its newline as the data chunk.
 		for _, f := range frames {
 			if sse {
-				if _, err := io.WriteString(w, "data: "); err != nil {
+				if err := countWrite(io.WriteString(w, "data: ")); err != nil {
 					return
 				}
-				if _, err := w.Write(f.Line[:len(f.Line)-1]); err != nil {
+				if err := countWrite(w.Write(f.Line[:len(f.Line)-1])); err != nil {
 					return
 				}
-				if _, err := io.WriteString(w, "\n\n"); err != nil {
+				if err := countWrite(io.WriteString(w, "\n\n")); err != nil {
 					return
 				}
-			} else if _, err := w.Write(f.Line); err != nil {
+			} else if err := countWrite(w.Write(f.Line)); err != nil {
 				return
 			}
 		}
@@ -643,16 +779,26 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
-	Submissions int            `json:"submissions"`
-	CacheHits   int            `json:"cache_hits"`
-	GridsRun    int            `json:"grids_run"`
-	Evictions   int            `json:"evictions"`
-	Cached      int            `json:"cached"`
-	CacheMax    int            `json:"cache_max"`
-	Queued      int            `json:"queue_len"`
-	QueueDepth  int            `json:"queue_depth"`
-	Draining    bool           `json:"draining,omitempty"`
-	Statuses    map[Status]int `json:"statuses"`
+	Submissions int  `json:"submissions"`
+	CacheHits   int  `json:"cache_hits"`
+	GridsRun    int  `json:"grids_run"`
+	Evictions   int  `json:"evictions"`
+	Cached      int  `json:"cached"`
+	CacheMax    int  `json:"cache_max"`
+	Queued      int  `json:"queue_len"`
+	QueueDepth  int  `json:"queue_depth"`
+	Draining    bool `json:"draining,omitempty"`
+	// Subscribers counts currently attached stream clients (HTTP tails
+	// plus SubscribeChan sinks are the campaignd_active_subscribers gauge;
+	// this field reports the HTTP side tracked by this Server).
+	Subscribers int64 `json:"subscribers"`
+	// DroppedRecords counts records discarded by this server's
+	// Drop-policy subscriber sinks (slow consumers; see SubscribeChan).
+	DroppedRecords uint64 `json:"dropped_records"`
+	// UptimeS is seconds since New; Build identifies the binary.
+	UptimeS  float64        `json:"uptime_s"`
+	Build    buildInfo      `json:"build"`
+	Statuses map[Status]int `json:"statuses"`
 	// Store reports the durable store, when enabled.
 	Store *storeStatsView `json:"store,omitempty"`
 }
@@ -696,7 +842,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queued:      len(s.queue),
 		QueueDepth:  s.opts.QueueDepth,
 		Draining:    s.draining,
-		Statuses:    make(map[Status]int),
+
+		Subscribers:    s.subscribers.Load(),
+		DroppedRecords: s.subDrops.Load(),
+		UptimeS:        time.Since(s.start).Seconds(),
+		Build:          s.build,
+		Statuses:       make(map[Status]int),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -1,0 +1,37 @@
+package store
+
+import "repro/internal/obs"
+
+// Durable-store metrics (process-wide; campaignd serves them on
+// GET /metrics). The gauges report the composition of the most recently
+// mutated Store — the daemon owns exactly one, so in production they are
+// simply "the store"; multi-store tests read Store.Stats() instead.
+var (
+	obsSegments = obs.NewGauge("store_segments",
+		"Committed, trusted segments on disk.")
+	obsBytes = obs.NewGauge("store_bytes",
+		"Total bytes of committed segments.")
+	obsCommits = obs.NewCounter("store_commits_total",
+		"Segments committed (a finished campaign made durable).")
+	obsCommitSeconds = obs.NewHistogram("store_commit_seconds",
+		"Latency of making one segment durable: flush, fsync, rename, journal.", nil)
+	obsSegmentLoads = obs.NewCounter("store_segment_loads_total",
+		"Segments read back from disk (restart or post-eviction replays).")
+	obsQuarantined = obs.NewCounter("store_quarantined_total",
+		"Segments recovery or load verification refused to trust.")
+	obsCompactions = obs.NewCounter("store_compactions_total",
+		"Segments evicted by the store's size or count bounds.")
+)
+
+// updateObsLocked refreshes the composition gauges after anything that
+// changes the committed entry set. Callers hold s.mu.
+func (s *Store) updateObsLocked() {
+	var segs int64
+	var bytes int64
+	for _, e := range s.entries {
+		segs++
+		bytes += e.Bytes
+	}
+	obsSegments.Set(segs)
+	obsBytes.Set(bytes)
+}

@@ -49,6 +49,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/wire"
@@ -194,6 +195,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	s.mu.Lock()
 	err = s.compactLocked()
+	s.updateObsLocked()
 	s.mu.Unlock()
 	if err != nil {
 		s.Close()
@@ -374,6 +376,7 @@ func (s *Store) quarantine(name string) error {
 		return fmt.Errorf("store: quarantine %s: %w", name, err)
 	}
 	s.quarantined++
+	obsQuarantined.Inc()
 	return nil
 }
 
@@ -588,6 +591,7 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 		return errors.New("store: segment writer already finished")
 	}
 	w.done = true
+	commitStart := time.Now()
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("store: flush segment: %w", err)
@@ -628,7 +632,13 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 		Fingerprint: w.fp, Segment: name,
 		Records: w.records, Bytes: w.bytes, Meta: meta, seq: s.seq,
 	}
-	return s.compactLocked()
+	err := s.compactLocked()
+	s.updateObsLocked()
+	if err == nil {
+		obsCommits.Inc()
+		obsCommitSeconds.Observe(time.Since(commitStart))
+	}
+	return err
 }
 
 // Abort discards the uncommitted segment.
@@ -708,11 +718,13 @@ func (s *Store) LoadFrames(fp string) ([]core.Frame, error) {
 			}
 		}
 		delete(s.entries, fp)
+		s.updateObsLocked()
 		if derr := s.appendOpLocked(manifestOp{Op: "del", Fingerprint: fp}, true); derr != nil {
 			return nil, derr
 		}
 		return nil, fmt.Errorf("store: load %s: %w", fp, err)
 	}
+	obsSegmentLoads.Inc()
 	s.Touch(fp)
 	return frames, nil
 }
@@ -778,6 +790,7 @@ func (s *Store) compactLocked() error {
 		}
 		delete(s.entries, victim.Fingerprint)
 		s.compactions++
+		obsCompactions.Inc()
 		if err := s.appendOpLocked(manifestOp{Op: "del", Fingerprint: victim.Fingerprint}, true); err != nil {
 			return err
 		}

@@ -1,0 +1,13 @@
+package wire
+
+import "repro/internal/obs"
+
+// Wire-format metrics (process-wide; campaignd serves them on
+// GET /metrics). Counters are bumped once per encode batch, not per
+// record, so the encode-once hot path pays two atomic adds per shard.
+var (
+	obsFramesEncoded = obs.NewCounter("wire_frames_encoded_total",
+		"Run records rendered into shared frames by the encode-once pipeline.")
+	obsEncodedBytes = obs.NewCounter("wire_encoded_bytes_total",
+		"Bytes of canonical JSONL produced by the frame encoders; every subscriber shares these bytes, so fan-out volume is this times the subscriber count.")
+)
