@@ -9,9 +9,27 @@
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
 //	          [-cache-max N] [-store-dir dir] [-store-max N] [-warm-load N]
 //	          [-segment-format jsonl|binary] [-drain-timeout d]
+//	          [-auth-keys k=tenant,...] [-auth-keyfile file]
+//	          [-rate-limit req/s] [-rate-burst N] [-max-streams N]
 //	          [-pprof-addr host:port] [-log-format text|json]
 //	          [-loadtest [-loadtest-submitters N] [-loadtest-campaigns N]
 //	                     [-loadtest-tailers M] [-loadtest-out file]]
+//
+// The front door is open by default (anonymous mode). -auth-keys (inline
+// secret=tenant pairs) or -auth-keyfile (a JSON array of keyring entries;
+// see serve.ParseKeyfile) gates the campaign API behind API keys: clients
+// present "Authorization: Bearer <key>" (or X-API-Key) and every
+// submission is tagged with the key's tenant in views, metrics and logs.
+// The ops surface (/healthz, /metrics, /stats, /version) is never gated.
+// SIGHUP re-reads the keyfile and swaps the keyring live — key rotation
+// without a restart; a broken keyfile keeps the old ring.
+//
+// -rate-limit gives every tenant a token bucket of that many requests per
+// second (burst -rate-burst) across submissions and stream subscriptions;
+// over-quota requests get 429 with Retry-After. -max-streams caps each
+// tenant's concurrent stream subscribers. Keyfile entries may override
+// both per tenant. The buckets are per-tenant, so one tenant's burst
+// never consumes another's quota.
 //
 // The daemon emits one structured log line per campaign lifecycle event
 // (queued, running, committed, finished, cache hit, drain), each carrying
@@ -112,6 +130,11 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	warmLoad := fs.Int("warm-load", 0, "manifest entries adopted eagerly at boot; the rest page in on demand (0 = -cache-max)")
 	segFormat := fs.String("segment-format", "", "on-disk segment encoding for new commits: jsonl (default) or binary; existing segments of either format always load")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns to finish and commit")
+	authKeys := fs.String("auth-keys", "", "inline API keys as secret=tenant[,secret=tenant...]; enables auth on the campaign API")
+	authKeyfile := fs.String("auth-keyfile", "", "JSON keyfile (array of {key,tenant[,disabled,rate_limit,rate_burst,max_streams]}); reloaded on SIGHUP")
+	rateLimit := fs.Float64("rate-limit", 0, "per-tenant token-bucket rate on submissions and stream subscriptions (requests/second); 0 = unlimited")
+	rateBurst := fs.Int("rate-burst", 0, "per-tenant bucket capacity (back-to-back requests before -rate-limit applies); 0 = max(1, ceil(rate))")
+	maxStreams := fs.Int("max-streams", 0, "per-tenant concurrent stream-subscriber cap; 0 = unlimited")
 	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this separate listener (empty = disabled)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json (one line per campaign lifecycle event, each carrying its trace ID)")
 	ltRun := fs.Bool("loadtest", false, "run the built-in load harness against this daemon's own listener, print the result JSON, and exit")
@@ -138,6 +161,39 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	if *segFormat != "" && *storeDir == "" {
 		return errors.New("-segment-format needs -store-dir")
 	}
+	if *rateBurst != 0 && *rateLimit <= 0 {
+		return errors.New("-rate-burst needs -rate-limit")
+	}
+	// loadKeys assembles the keyring from both sources — inline flags plus
+	// the keyfile — so SIGHUP reloads (which re-run this) cannot drop the
+	// inline keys. nil with nil error means auth stays disabled.
+	loadKeys := func() ([]serve.Key, error) {
+		var keys []serve.Key
+		if *authKeys != "" {
+			inline, err := serve.ParseInlineKeys(*authKeys)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, inline...)
+		}
+		if *authKeyfile != "" {
+			f, err := os.Open(*authKeyfile)
+			if err != nil {
+				return nil, fmt.Errorf("auth keyfile: %w", err)
+			}
+			fromFile, err := serve.ParseKeyfile(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, fromFile...)
+		}
+		return keys, nil
+	}
+	keys, err := loadKeys()
+	if err != nil {
+		return err
+	}
 	var logger *slog.Logger
 	switch *logFormat {
 	case "json":
@@ -149,14 +205,18 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	}
 
 	srv, err := serve.New(serve.Options{
-		QueueDepth:       *queue,
-		Concurrency:      *concurrency,
-		CacheMax:         *cacheMax,
-		StoreDir:         *storeDir,
-		StoreMaxSegments: *storeMax,
-		WarmLoad:         *warmLoad,
-		SegmentFormat:    format,
-		Logger:           logger,
+		QueueDepth:          *queue,
+		Concurrency:         *concurrency,
+		CacheMax:            *cacheMax,
+		StoreDir:            *storeDir,
+		StoreMaxSegments:    *storeMax,
+		WarmLoad:            *warmLoad,
+		SegmentFormat:       format,
+		AuthKeys:            keys,
+		RateLimit:           *rateLimit,
+		RateBurst:           *rateBurst,
+		MaxStreamsPerTenant: *maxStreams,
+		Logger:              logger,
 	})
 	if err != nil {
 		return err
@@ -164,6 +224,38 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	defer srv.Close()
 	if *storeDir != "" {
 		fmt.Fprintf(w, "campaignd durable store at %s\n", *storeDir)
+	}
+	if len(keys) > 0 {
+		fmt.Fprintf(w, "campaignd auth enabled (%d keys)\n", len(keys))
+	}
+
+	if *authKeyfile != "" {
+		// SIGHUP swaps the keyring live: rotate keys, disable a leaked one,
+		// retune a tenant's quota — no restart, no dropped streams. A file
+		// that fails to parse or validate keeps the current ring; locking
+		// everyone out should take more than a truncated write.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					reloaded, err := loadKeys()
+					if err == nil {
+						err = srv.SetKeys(reloaded)
+					}
+					if err != nil {
+						logger.Error("keyfile reload failed, keeping current keyring",
+							"keyfile", *authKeyfile, "err", err)
+						continue
+					}
+					logger.Info("keyfile reloaded", "keyfile", *authKeyfile, "keys", len(reloaded))
+				}
+			}
+		}()
 	}
 
 	if *pprofAddr != "" {
@@ -181,7 +273,13 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		ps := &http.Server{Handler: pmux}
+		// Same Slowloris guards as the service listener; no WriteTimeout,
+		// because profile?seconds=N streams for as long as the client asked.
+		ps := &http.Server{
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go ps.Serve(pln)
 		defer ps.Close()
 		fmt.Fprintf(w, "campaignd pprof on http://%s/debug/pprof/\n", pln.Addr())
@@ -206,14 +304,36 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		ready <- ln.Addr().String()
 	}
 
-	hs := &http.Server{Handler: srv}
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// headers (the classic Slowloris hold), and IdleTimeout reclaims
+	// keep-alive connections nobody is using. Deliberately NO ReadTimeout
+	// or WriteTimeout: submit bodies are already capped by the serve
+	// layer's MaxBytesReader, and the NDJSON/SSE stream responses are
+	// legitimately open for the lifetime of a campaign — a write deadline
+	// would cut every long tail dead.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	if *ltRun {
 		// Loadtest mode: serve on the real listener, hammer it over HTTP
 		// exactly as fleet clients would, report, exit. The harness's
 		// numbers are end-to-end (router, queue, engine, fan-out).
 		go hs.Serve(ln)
+		// With auth enabled the harness authenticates as the first enabled
+		// key's tenant — the loadtest exercises the same middleware stack
+		// fleet clients traverse.
+		ltKey := ""
+		for _, k := range keys {
+			if !k.Disabled {
+				ltKey = k.Secret
+				break
+			}
+		}
 		res, err := loadtest.Run(ctx, loadtest.Config{
 			BaseURL:               "http://" + ln.Addr().String(),
+			APIKey:                ltKey,
 			Submitters:            *ltSubmitters,
 			CampaignsPerSubmitter: *ltCampaigns,
 			Tailers:               *ltTailers,

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -314,6 +315,164 @@ func TestDaemonLoadtest(t *testing.T) {
 	}
 	if !strings.Contains(log.String(), "campaignd loadtest:") {
 		t.Errorf("missing loadtest summary line:\n%s", log.String())
+	}
+}
+
+// postSpec submits a spec with an optional API key and returns the
+// status code (body drained and closed).
+func postSpec(t *testing.T, base, spec, key string) int {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/campaigns", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestDaemonAuthFlags boots the daemon with inline keys and pins the CLI
+// wiring: anonymous 401, authed 202, ops surface open, and the bad-flag
+// combinations rejected before the listener comes up.
+func TestDaemonAuthFlags(t *testing.T) {
+	var out syncWriter
+	if err := run(context.Background(), &out, []string{"-rate-burst", "4"}, nil); err == nil {
+		t.Error("-rate-burst without -rate-limit accepted")
+	}
+	if err := run(context.Background(), &out, []string{"-auth-keys", "missing-tenant"}, nil); err == nil {
+		t.Error("malformed -auth-keys accepted")
+	}
+	if err := run(context.Background(), &out, []string{"-auth-keyfile", filepath.Join(t.TempDir(), "nope.json")}, nil); err == nil {
+		t.Error("missing -auth-keyfile accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errc := startDaemon(t, ctx, &out, []string{
+		"-addr", "127.0.0.1:0", "-auth-keys", "smoke-key=smoketeam",
+	})
+	spec := `{"seed":7,"benches":["mcf"],"voltages_mv":[980],"repetitions":1}`
+	if got := postSpec(t, base, spec, ""); got != http.StatusUnauthorized {
+		t.Errorf("anonymous submit status %d, want 401", got)
+	}
+	if got := postSpec(t, base, spec, "wrong"); got != http.StatusForbidden {
+		t.Errorf("wrong-key submit status %d, want 403", got)
+	}
+	if got := postSpec(t, base, spec, "smoke-key"); got != http.StatusAccepted {
+		t.Errorf("authed submit status %d, want 202", got)
+	}
+	for _, path := range []string{"/healthz", "/metrics", "/stats"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d with auth on, want 200", path, resp.StatusCode)
+		}
+	}
+	if !strings.Contains(out.String(), "campaignd auth enabled (1 keys)") {
+		t.Errorf("missing auth banner:\n%s", out.String())
+	}
+	cancel()
+	<-errc
+}
+
+// TestDaemonKeyfileReload pins the SIGHUP path end to end: rewrite the
+// keyfile, signal the (test) process, and the daemon swaps rings without
+// restarting — the rotated-out key stops working, the new one starts. A
+// subsequent SIGHUP with a corrupt file keeps the current ring.
+func TestDaemonKeyfileReload(t *testing.T) {
+	keyfile := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(keyfile, []byte(`[{"key":"old-key","tenant":"team"}]`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncWriter
+	base, errc := startDaemon(t, ctx, &out, []string{
+		"-addr", "127.0.0.1:0", "-auth-keyfile", keyfile, "-log-format", "json",
+	})
+	spec := `{"seed":7,"benches":["mcf"],"voltages_mv":[980],"repetitions":1}`
+	if got := postSpec(t, base, spec, "old-key"); got != http.StatusAccepted {
+		t.Fatalf("pre-rotation submit status %d, want 202", got)
+	}
+
+	rotate := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(keyfile, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rotate(`[{"key":"new-key","tenant":"team"}]`)
+	deadline := time.Now().Add(10 * time.Second)
+	for postSpec(t, base, `{"seed":8,"benches":["mcf"],"voltages_mv":[980],"repetitions":1}`, "new-key") != http.StatusAccepted {
+		if time.Now().After(deadline) {
+			t.Fatalf("new key never took effect\nlogs:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := postSpec(t, base, spec, "old-key"); got != http.StatusForbidden {
+		t.Errorf("rotated-out key status %d, want 403", got)
+	}
+
+	// A corrupt keyfile must not take the ring down.
+	rotate(`{broken`)
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "keyfile reload failed") {
+		if time.Now().After(deadline) {
+			t.Fatalf("reload failure never logged\nlogs:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := postSpec(t, base, `{"seed":9,"benches":["mcf"],"voltages_mv":[980],"repetitions":1}`, "new-key"); got != http.StatusAccepted {
+		t.Errorf("working key lost after corrupt reload: %d", got)
+	}
+	cancel()
+	<-errc
+}
+
+// TestDaemonLoadtestAuthed runs -loadtest against an auth + rate-limited
+// daemon: the harness authenticates as the first key's tenant and backs
+// off through 429s per Retry-After, so the run still finishes with zero
+// errors.
+func TestDaemonLoadtestAuthed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench_load.json")
+	var log syncWriter
+	err := run(context.Background(), &log, []string{
+		"-addr", "127.0.0.1:0", "-concurrency", "2",
+		"-auth-keys", "lt-key=loadteam", "-rate-limit", "2", "-rate-burst", "2",
+		"-loadtest", "-loadtest-submitters", "2", "-loadtest-campaigns", "1",
+		"-loadtest-tailers", "1", "-loadtest-out", out,
+	}, nil)
+	if err != nil {
+		t.Fatalf("authed loadtest run: %v\nlog:\n%s", err, log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Campaigns int `json:"campaigns"`
+		Errors    int `json:"errors"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("result not JSON: %v\n%s", err, data)
+	}
+	if res.Campaigns != 2 || res.Errors != 0 {
+		t.Errorf("campaigns=%d errors=%d, want 2 and 0", res.Campaigns, res.Errors)
 	}
 }
 

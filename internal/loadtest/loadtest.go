@@ -23,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +35,12 @@ import (
 type Config struct {
 	// BaseURL targets the daemon, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// APIKey, when set, is presented as "Authorization: Bearer" on every
+	// request — required against a daemon running with -auth-keys. The
+	// harness then also backs off and retries on 429 per Retry-After
+	// (like a well-behaved fleet client), so a rate-limited daemon slows
+	// the run down instead of failing it.
+	APIKey string
 	// Submitters is the number of concurrent submit workers (default 4).
 	Submitters int
 	// CampaignsPerSubmitter is how many unique campaigns each submitter
@@ -175,6 +182,47 @@ func (c *collector) fail(err error) {
 	}
 }
 
+// authorize attaches the configured API key to a request.
+func (c Config) authorize(req *http.Request) {
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+}
+
+// doRetry429 issues a request (rebuilt per attempt by mk, so the body
+// reader is fresh), sleeping out 429 responses per their Retry-After —
+// capped, bounded attempts — before giving the final response back to the
+// caller. Any other status, success or failure, returns immediately.
+func doRetry429(ctx context.Context, client *http.Client, mk func() (*http.Request, error)) (*http.Response, error) {
+	const maxAttempts = 5
+	for attempt := 1; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil || resp.StatusCode != http.StatusTooManyRequests || attempt == maxAttempts {
+			return resp, err
+		}
+		wait := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, perr := strconv.Atoi(s); perr == nil && n > 0 {
+				wait = time.Duration(n) * time.Second
+			}
+		}
+		if wait > 5*time.Second {
+			wait = 5 * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
 // submitResponse mirrors the daemon's POST /campaigns reply.
 type submitResponse struct {
 	ID      string `json:"id"`
@@ -261,14 +309,19 @@ func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint
 		return
 	}
 
-	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, "POST", cfg.BaseURL+"/campaigns", bytes.NewReader(body))
-	if err != nil {
-		col.fail(err)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
+	// t0 restarts on each 429 retry so the submit latency sample measures
+	// the accepted attempt, not the rate-limit sleeps around it.
+	var t0 time.Time
+	resp, err := doRetry429(ctx, client, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, "POST", cfg.BaseURL+"/campaigns", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		cfg.authorize(req)
+		t0 = time.Now()
+		return req, nil
+	})
 	if err != nil {
 		col.fail(err)
 		return
@@ -294,7 +347,7 @@ func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint
 		tails.Add(1)
 		go func() {
 			defer tails.Done()
-			tailStream(ctx, client, cfg.BaseURL+sr.Stream, col)
+			tailStream(ctx, client, cfg, cfg.BaseURL+sr.Stream, col)
 		}()
 	}
 	tails.Wait()
@@ -302,14 +355,17 @@ func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint
 
 // tailStream consumes one campaign stream to EOF, sampling time-to-first-
 // record and total stream duration.
-func tailStream(ctx context.Context, client *http.Client, url string, col *collector) {
-	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
-	if err != nil {
-		col.fail(err)
-		return
-	}
-	resp, err := client.Do(req)
+func tailStream(ctx context.Context, client *http.Client, cfg Config, url string, col *collector) {
+	var t0 time.Time
+	resp, err := doRetry429(ctx, client, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg.authorize(req)
+		t0 = time.Now()
+		return req, nil
+	})
 	if err != nil {
 		col.fail(err)
 		return

@@ -22,6 +22,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,76 @@ func (v *CounterVec) With(value string) *Counter {
 		panic(fmt.Sprintf("obs: counter vec %q has no series %q", v.label, value))
 	}
 	return &v.counters[i]
+}
+
+// LabeledCounter is a counter family over one label whose series are
+// minted on first use — the shape for label sets discovered at runtime
+// (tenants from a reloadable keyfile) where CounterVec's frozen series
+// set cannot work. With is a read-locked map hit once a series exists;
+// the write lock is taken only to mint a new one. Callers must keep the
+// value set bounded (tenant names come from a keyfile, not from request
+// data) — there is no eviction, because a counter that disappears from
+// an exposition would read as a reset to a Prometheus scraper.
+type LabeledCounter struct {
+	label  string
+	mu     sync.RWMutex
+	series map[string]*Counter
+}
+
+// With returns the counter for the given label value, minting the series
+// on first use.
+func (lc *LabeledCounter) With(value string) *Counter {
+	lc.mu.RLock()
+	c := lc.series[value]
+	lc.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if c := lc.series[value]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	lc.series[value] = c
+	return c
+}
+
+// Value reads one series' count without minting it; zero for an unknown
+// value.
+func (lc *LabeledCounter) Value(value string) uint64 {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	if c := lc.series[value]; c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+// snapshot returns the series in sorted label-value order for exposition.
+func (lc *LabeledCounter) snapshot() ([]string, []uint64) {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	values := make([]string, 0, len(lc.series))
+	for v := range lc.series {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	counts := make([]uint64, len(values))
+	for i, v := range values {
+		counts[i] = lc.series[v].Value()
+	}
+	return values, counts
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules for
+// label values: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // DefBuckets are the default latency histogram bounds: 100µs to 10s,
@@ -182,6 +253,11 @@ type family struct {
 	typ  string // "counter", "gauge" or "histogram"
 	// series renders the family's sample lines (no HELP/TYPE header).
 	series func(w *expoWriter)
+	// empty, when non-nil and true, omits the family (header included)
+	// from the exposition — a dynamic-series family with nothing minted
+	// yet has no samples to declare, and a declared family without
+	// samples is a lint violation.
+	empty func() bool
 }
 
 // Registry holds registered metric families in registration order.
@@ -274,6 +350,28 @@ func (r *Registry) CounterVec(name, help, label string, values ...string) *Count
 	return v
 }
 
+// LabeledCounter registers a one-label counter family whose series are
+// minted on first With. The family is omitted from the exposition until
+// at least one series exists.
+func (r *Registry) LabeledCounter(name, help, label string) *LabeledCounter {
+	lc := &LabeledCounter{label: label, series: make(map[string]*Counter)}
+	r.register(&family{
+		name: name, help: help, typ: "counter",
+		empty: func() bool {
+			lc.mu.RLock()
+			defer lc.mu.RUnlock()
+			return len(lc.series) == 0
+		},
+		series: func(w *expoWriter) {
+			values, counts := lc.snapshot()
+			for i, v := range values {
+				w.sample(name, label+`="`+escapeLabelValue(v)+`"`, uintVal(counts[i]))
+			}
+		},
+	})
+	return lc
+}
+
 // NewCounter registers a counter in the Default registry.
 func NewCounter(name, help string) *Counter { return defaultRegistry.Counter(name, help) }
 
@@ -289,4 +387,10 @@ func NewHistogram(name, help string, buckets []time.Duration) *Histogram {
 // NewCounterVec registers a labeled counter family in the Default registry.
 func NewCounterVec(name, help, label string, values ...string) *CounterVec {
 	return defaultRegistry.CounterVec(name, help, label, values...)
+}
+
+// NewLabeledCounter registers a dynamic-series labeled counter family in
+// the Default registry.
+func NewLabeledCounter(name, help, label string) *LabeledCounter {
+	return defaultRegistry.LabeledCounter(name, help, label)
 }

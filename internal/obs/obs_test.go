@@ -41,6 +41,95 @@ func TestCounterVec(t *testing.T) {
 	v.With("nope")
 }
 
+// TestLabeledCounter pins the dynamic-series family: series mint on first
+// With, render sorted and escaped, and the family vanishes from the
+// exposition (rather than failing lint) while no series exists.
+func TestLabeledCounter(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("test_tenant_total", "per-tenant requests", "tenant")
+
+	// Unminted: the family is omitted entirely and the exposition lints.
+	var empty strings.Builder
+	if err := r.WritePrometheus(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "test_tenant_total") {
+		t.Errorf("empty family rendered:\n%s", empty.String())
+	}
+	if err := Lint(strings.NewReader(empty.String())); err != nil {
+		t.Errorf("empty-family exposition lint: %v", err)
+	}
+
+	lc.With("bravo").Add(2)
+	lc.With("alpha").Inc()
+	if got := lc.Value("bravo"); got != 2 {
+		t.Errorf("bravo = %d, want 2", got)
+	}
+	if got := lc.Value("never-minted"); got != 0 {
+		t.Errorf("unknown series = %d, want 0", got)
+	}
+
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	body := out.String()
+	if err := Lint(strings.NewReader(body)); err != nil {
+		t.Errorf("exposition lint: %v", err)
+	}
+	alpha := strings.Index(body, `test_tenant_total{tenant="alpha"} 1`)
+	bravo := strings.Index(body, `test_tenant_total{tenant="bravo"} 2`)
+	if alpha < 0 || bravo < 0 || alpha > bravo {
+		t.Errorf("series missing or unsorted:\n%s", body)
+	}
+}
+
+// TestLabeledCounterEscaping pins the text-format escaping of hostile
+// label values (the serve layer validates tenant names, but the metrics
+// core must hold on its own).
+func TestLabeledCounterEscaping(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("test_escape_total", "escaping", "tenant")
+	lc.With("quote\"back\\slash\nnewline").Inc()
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_escape_total{tenant="quote\"back\\slash\nnewline"} 1`
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("escaped sample %q missing from:\n%s", want, out.String())
+	}
+	if err := Lint(strings.NewReader(out.String())); err != nil {
+		t.Errorf("exposition lint: %v", err)
+	}
+}
+
+// TestLabeledCounterConcurrent hammers minting and incrementing from many
+// goroutines (run under -race in CI): one series per value, no lost adds.
+func TestLabeledCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("test_conc_total", "concurrent", "tenant")
+	const goroutines, perG = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := []string{"a", "b", "c", "d"}[g%4]
+			for i := 0; i < perG; i++ {
+				lc.With(tenant).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, tenant := range []string{"a", "b", "c", "d"} {
+		want := uint64(goroutines / 4 * perG)
+		if got := lc.Value(tenant); got != want {
+			t.Errorf("tenant %s = %d, want %d", tenant, got, want)
+		}
+	}
+}
+
 func TestDuplicateRegistrationPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("dup_total", "first")

@@ -56,6 +56,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if ew.err != nil {
 			break
 		}
+		if f.empty != nil && f.empty() {
+			continue // no series minted yet; a sampleless family fails lint
+		}
 		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
 		f.series(ew)

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"a", "team-a", "Team_B.2", strings.Repeat("x", 64)} {
+		if !ValidTenant(ok) {
+			t.Errorf("ValidTenant(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "has space", "new\nline", `quo"te`, "a{b}", "a=b"} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestKeyringLookup(t *testing.T) {
+	kr, err := NewKeyring([]Key{
+		{Secret: "alpha-key", Tenant: "alpha"},
+		{Secret: "alpha-old", Tenant: "alpha", Disabled: true},
+		{Secret: "bravo-key", Tenant: "bravo", RateLimit: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, res := kr.lookup("alpha-key"); res != authOK || k.Tenant != "alpha" {
+		t.Errorf("lookup(alpha-key) = %+v, %v", k, res)
+	}
+	if k, res := kr.lookup("bravo-key"); res != authOK || k.Tenant != "bravo" || k.RateLimit != 2 {
+		t.Errorf("lookup(bravo-key) = %+v, %v", k, res)
+	}
+	if _, res := kr.lookup("alpha-old"); res != authDisabled {
+		t.Errorf("lookup(disabled) = %v, want authDisabled", res)
+	}
+	if _, res := kr.lookup("nope"); res != authUnknown {
+		t.Errorf("lookup(unknown) = %v, want authUnknown", res)
+	}
+	if got := kr.Tenants(); len(got) != 2 || got[0] != "alpha" || got[1] != "bravo" {
+		t.Errorf("Tenants() = %v", got)
+	}
+}
+
+func TestNewKeyringRejects(t *testing.T) {
+	cases := map[string][]Key{
+		"empty set":      {},
+		"empty secret":   {{Secret: "", Tenant: "a"}},
+		"bad tenant":     {{Secret: "k", Tenant: "has space"}},
+		"missing tenant": {{Secret: "k"}},
+		"duplicate":      {{Secret: "k", Tenant: "a"}, {Secret: "k", Tenant: "b"}},
+	}
+	for name, keys := range cases {
+		if _, err := NewKeyring(keys); err == nil {
+			t.Errorf("NewKeyring(%s) accepted", name)
+		}
+	}
+}
+
+func TestParseKeyfile(t *testing.T) {
+	keys, err := ParseKeyfile(strings.NewReader(`[
+		{"key": "s1", "tenant": "alpha"},
+		{"key": "s2", "tenant": "bravo", "disabled": true, "rate_limit": 3, "rate_burst": 5, "max_streams": 2}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0].Tenant != "alpha" || !keys[1].Disabled ||
+		keys[1].RateLimit != 3 || keys[1].RateBurst != 5 || keys[1].MaxStreams != 2 {
+		t.Errorf("parsed keys = %+v", keys)
+	}
+	if _, err := ParseKeyfile(strings.NewReader(`[{"key":"s","tenant":"a"}] trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := ParseKeyfile(strings.NewReader(`{"key":"s"}`)); err == nil {
+		t.Error("non-array keyfile accepted")
+	}
+}
+
+func TestParseInlineKeys(t *testing.T) {
+	keys, err := ParseInlineKeys("k1=alpha, k2=bravo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0].Secret != "k1" || keys[1].Tenant != "bravo" {
+		t.Errorf("parsed = %+v", keys)
+	}
+	for _, bad := range []string{"", ",,", "noequals", "=tenant", "key="} {
+		if _, err := ParseInlineKeys(bad); err == nil {
+			t.Errorf("ParseInlineKeys(%q) accepted", bad)
+		}
+	}
+}
+
+// authedSubmit POSTs a spec with the given headers and returns the
+// response (body drained into the returned buffer, connection closed).
+func authedSubmit(t *testing.T, ts *httptest.Server, spec Spec, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	return rawPost(t, ts, body, hdr)
+}
+
+func rawPost(t *testing.T, ts *httptest.Server, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestAuthRejectionMatrix pins the auth half of the front door: missing
+// key 401 (with WWW-Authenticate), unknown key 403, disabled key 403,
+// valid keys accepted via both Authorization: Bearer and X-API-Key, the
+// ops surface never gated — and every rejection visible in the
+// serve_auth_failures_total metric family, which must lint.
+func TestAuthRejectionMatrix(t *testing.T) {
+	_, ts := newTestServer(t, Options{AuthKeys: []Key{
+		{Secret: "good-key", Tenant: "alpha"},
+		{Secret: "dead-key", Tenant: "alpha", Disabled: true},
+	}})
+	before := scrapeMetrics(t, ts.URL)
+	// A LabeledCounter series may be absent from the "before" scrape (the
+	// family only renders once a series mints), so missing counts as zero.
+	sampleOrZero := func(body, sample string) float64 {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, sample+" ") {
+				return metricValue(t, body, sample)
+			}
+		}
+		return 0
+	}
+	delta := func(body, sample string) float64 {
+		return sampleOrZero(body, sample) - sampleOrZero(before, sample)
+	}
+
+	// Missing key: 401 plus the challenge header.
+	resp, _ := authedSubmit(t, ts, testSpec(1), nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous submit status %d, want 401", resp.StatusCode)
+	}
+	if got := resp.Header.Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+		t.Errorf("WWW-Authenticate = %q", got)
+	}
+	// Unknown and disabled keys: 403.
+	if resp, _ := authedSubmit(t, ts, testSpec(1), map[string]string{"Authorization": "Bearer wrong"}); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unknown-key status %d, want 403", resp.StatusCode)
+	}
+	if resp, _ := authedSubmit(t, ts, testSpec(1), map[string]string{"X-API-Key": "dead-key"}); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("disabled-key status %d, want 403", resp.StatusCode)
+	}
+	// A non-Bearer Authorization scheme counts as no key at all.
+	if resp, _ := authedSubmit(t, ts, testSpec(1), map[string]string{"Authorization": "Basic Zm9vOmJhcg=="}); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("basic-auth status %d, want 401", resp.StatusCode)
+	}
+
+	// Valid key via both header forms (the scheme is case-insensitive).
+	for _, hdr := range []map[string]string{
+		{"Authorization": "Bearer good-key"},
+		{"Authorization": "bearer good-key"},
+		{"X-API-Key": "good-key"},
+	} {
+		resp, body := authedSubmit(t, ts, testSpec(1), hdr)
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("authed submit with %v: status %d: %s", hdr, resp.StatusCode, body)
+		}
+	}
+
+	// The ops surface answers without a key.
+	for _, path := range []string{"/healthz", "/metrics", "/stats", "/version"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d with auth enabled, want 200", path, r.StatusCode)
+		}
+	}
+	// But the campaign read API is gated too.
+	r, err := http.Get(ts.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusUnauthorized {
+		t.Errorf("GET /campaigns status %d with auth enabled, want 401", r.StatusCode)
+	}
+
+	after := scrapeMetrics(t, ts.URL)
+	if err := obs.Lint(strings.NewReader(after)); err != nil {
+		t.Errorf("exposition lint: %v", err)
+	}
+	// missing: the anonymous submit, the Basic attempt, the GET list.
+	if got := delta(after, `serve_auth_failures_total{reason="missing"}`); got != 3 {
+		t.Errorf("missing failures delta = %v, want 3", got)
+	}
+	if got := delta(after, `serve_auth_failures_total{reason="unknown"}`); got != 1 {
+		t.Errorf("unknown failures delta = %v, want 1", got)
+	}
+	if got := delta(after, `serve_auth_failures_total{reason="disabled"}`); got != 1 {
+		t.Errorf("disabled failures delta = %v, want 1", got)
+	}
+	if got := delta(after, `serve_tenant_submissions_total{tenant="alpha"}`); got != 3 {
+		t.Errorf("tenant submissions delta = %v, want 3", got)
+	}
+}
+
+// TestTenantPropagation pins the identity flow: an authenticated
+// submission's tenant appears in the submit-side view, the campaign list,
+// the structured logs (alongside the trace ID), and /stats counts the
+// failures — while the anonymous fields stay omitted from views when auth
+// is off (byte-identity with the pre-auth daemon).
+func TestTenantPropagation(t *testing.T) {
+	logs := &syncBuffer{}
+	_, ts := newTestServer(t, Options{
+		AuthKeys: []Key{{Secret: "k", Tenant: "team-a"}},
+		Logger:   slog.New(slog.NewJSONHandler(logs, nil)),
+	})
+	resp, body := authedSubmit(t, ts, testSpec(1), map[string]string{"Authorization": "Bearer k"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// View carries the tenant.
+	req, _ := http.NewRequest("GET", ts.URL+"/campaigns/"+sr.ID, nil)
+	req.Header.Set("X-API-Key", "k")
+	vr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	if err := json.NewDecoder(vr.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	vr.Body.Close()
+	if v.Tenant != "team-a" {
+		t.Errorf("View.Tenant = %q, want team-a", v.Tenant)
+	}
+
+	// An auth failure logs tenant-independent context; the accepted
+	// submission's log line carries tenant AND trace ID together.
+	authedSubmit(t, ts, testSpec(1), nil) // one 401 for the failure counter
+	logged := logs.String()
+	if !strings.Contains(logged, `"tenant":"team-a"`) {
+		t.Errorf("logs missing tenant attribute:\n%s", logged)
+	}
+	if !strings.Contains(logged, fmt.Sprintf(`"trace_id":%q`, sr.TraceID)) {
+		t.Errorf("logs missing trace %q:\n%s", sr.TraceID, logged)
+	}
+	if !strings.Contains(logged, `"msg":"auth failed"`) {
+		t.Errorf("logs missing auth-failed line:\n%s", logged)
+	}
+
+	// /stats reports the auth state and failure count.
+	st, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if !stats.AuthEnabled {
+		t.Error("stats.AuthEnabled = false")
+	}
+	if stats.AuthFailures != 1 {
+		t.Errorf("stats.AuthFailures = %d, want 1", stats.AuthFailures)
+	}
+}
+
+// TestAuthDisabledUnchanged pins anonymous mode: with no keyring, views
+// carry no tenant field at all and /stats omits the auth counters — the
+// wire surface is byte-compatible with a pre-auth daemon.
+func TestAuthDisabledUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	sr := submit(t, ts, testSpec(1), http.StatusAccepted)
+	r, err := http.Get(ts.URL + "/campaigns/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if strings.Contains(string(raw), `"tenant"`) {
+		t.Errorf("anonymous view leaks a tenant field: %s", raw)
+	}
+	st, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawStats, _ := io.ReadAll(st.Body)
+	st.Body.Close()
+	for _, field := range []string{`"auth_enabled"`, `"auth_failures"`, `"rate_limited"`} {
+		if strings.Contains(string(rawStats), field) {
+			t.Errorf("anonymous /stats leaks %s: %s", field, rawStats)
+		}
+	}
+}
+
+// TestAuthReload pins the SetKeys swap semantics campaignd's SIGHUP path
+// relies on: a new ring takes effect immediately, an invalid ring is
+// rejected and the old one keeps working, and nil disables auth.
+func TestAuthReload(t *testing.T) {
+	s, ts := newTestServer(t, Options{AuthKeys: []Key{{Secret: "old", Tenant: "a"}}})
+	if resp, _ := authedSubmit(t, ts, testSpec(1), map[string]string{"X-API-Key": "old"}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("old key rejected before rotation: %d", resp.StatusCode)
+	}
+	if err := s.SetKeys([]Key{{Secret: "new", Tenant: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := authedSubmit(t, ts, testSpec(1), map[string]string{"X-API-Key": "old"}); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("rotated-out key status %d, want 403", resp.StatusCode)
+	}
+	sp := testSpec(1)
+	sp.Seed = 1234 // fresh fingerprint so the reply is 202, not a cache 200
+	if resp, _ := authedSubmit(t, ts, sp, map[string]string{"X-API-Key": "new"}); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("new key status %d, want 202", resp.StatusCode)
+	}
+	// A broken reload must not install: the current ring keeps working.
+	if err := s.SetKeys([]Key{{Secret: "", Tenant: "a"}}); err == nil {
+		t.Error("invalid keyring accepted")
+	}
+	if resp, _ := authedSubmit(t, ts, testSpec(1), map[string]string{"X-API-Key": "new"}); resp.StatusCode == http.StatusForbidden || resp.StatusCode == http.StatusUnauthorized {
+		t.Errorf("working key lost after failed reload: %d", resp.StatusCode)
+	}
+	// nil = back to anonymous.
+	if err := s.SetKeys(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AuthEnabled() {
+		if resp, _ := authedSubmit(t, ts, testSpec(1), nil); resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Errorf("anonymous submit after disable: %d", resp.StatusCode)
+		}
+	} else {
+		t.Error("AuthEnabled() still true after SetKeys(nil)")
+	}
+}
+
+// TestSubmitBodyLimits pins the HTTP-edge bugfixes on POST /campaigns: a
+// body over the 1 MiB cap gets 413 (not a generic 400), trailing garbage
+// after the spec object gets 400, and trailing whitespace stays legal.
+func TestSubmitBodyLimits(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Oversized: a valid spec padded past the cap with a huge field.
+	huge := []byte(`{"seed":7,"benches":["mcf","` + strings.Repeat("x", maxSubmitBytes) + `"]}`)
+	resp, _ := rawPost(t, ts, huge, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status %d, want 413", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(testSpec(1))
+	resp, msg := rawPost(t, ts, append(append([]byte{}, body...), []byte(` {"more":1}`)...), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing-garbage status %d, want 400: %s", resp.StatusCode, msg)
+	}
+	resp, msg = rawPost(t, ts, append(append([]byte{}, body...), " \n\t"...), nil)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Errorf("trailing-whitespace status %d, want 2xx: %s", resp.StatusCode, msg)
+	}
+}
+
+// TestRetryAfterOn503 pins the backpressure header fix: queue-full and
+// draining 503s tell clients when to come back.
+func TestRetryAfterOn503(t *testing.T) {
+	s, ts := newTestServer(t, Options{QueueDepth: 1, Concurrency: 1})
+	gate := make(chan struct{})
+	s.gate = gate
+	defer close(gate)
+
+	mk := func(seed uint64) Spec {
+		sp := testSpec(1)
+		sp.Seed = seed
+		return sp
+	}
+	running := submit(t, ts, mk(200), http.StatusAccepted)
+	waitForStatus(t, s, running.ID, StatusRunning)
+	submit(t, ts, mk(201), http.StatusAccepted) // fills the queue
+
+	resp, _ := authedSubmit(t, ts, mk(202), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-bound status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("queue-full Retry-After = %q, want 1", got)
+	}
+}
+
+// waitForStatus polls until the campaign reaches the wanted status.
+func waitForStatus(t *testing.T, s *Server, id string, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.lookup(id).Status() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached %s", id, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

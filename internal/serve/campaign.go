@@ -58,6 +58,10 @@ type Campaign struct {
 	// attached to stream metadata and structured log lines. It is set
 	// once at admission and immutable after, so readers need no lock.
 	traceID string
+	// tenant is the authenticated submitter's tenant ID ("" for anonymous
+	// or library submissions). Like traceID it is set once at admission
+	// and immutable after; it surfaces in View.Tenant and lifecycle logs.
+	tenant string
 	// queuedAt feeds the queue-wait histogram; written at admission,
 	// read once when execution starts.
 	queuedAt time.Time
@@ -229,6 +233,9 @@ type View struct {
 	// TraceID is the submission trace this campaign runs under (see
 	// submitResponse.TraceID).
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the authenticated tenant that first scheduled this
+	// campaign; omitted in anonymous mode, so auth-off views are unchanged.
+	Tenant string `json:"tenant,omitempty"`
 	// Records counts buffered (already streamed) records so far; for a
 	// store-backed campaign that has not hydrated yet it counts the
 	// records waiting on disk.
@@ -265,6 +272,7 @@ func (c *Campaign) view() View {
 		Error:       c.errMsg,
 		Fingerprint: c.fingerprint,
 		TraceID:     c.traceID,
+		Tenant:      c.tenant,
 		Spec:        c.spec,
 		Records:     records,
 		Stored:      c.fromStore,

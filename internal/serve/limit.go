@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the quota half of the front door: a token-bucket rate
+// limiter and a concurrent-subscriber cap, both keyed by tenant. One
+// slow-to-refill bucket per tenant means a noisy tenant exhausts only its
+// own tokens — its 429s cannot starve another tenant's submissions, which
+// is the isolation property the -race starvation test pins.
+//
+// Buckets refill continuously (tokens accrue with elapsed time, capped at
+// the burst size) rather than on a ticker, so there is no background
+// goroutine and no tick granularity: a tenant allowed 2 req/s that pauses
+// 500ms has exactly one token waiting. The clock is injectable for tests.
+
+// limits is a tenant's effective quota after merging the server defaults
+// with the keyfile overrides (Key.RateLimit / RateBurst / MaxStreams).
+type limits struct {
+	// rate is tokens (requests) per second. <= 0 means unlimited.
+	rate float64
+	// burst is the bucket capacity. Always >= 1 when rate > 0.
+	burst float64
+	// maxStreams caps concurrent stream subscribers. <= 0 means unlimited.
+	maxStreams int
+}
+
+// effectiveLimits merges a key's overrides onto the server defaults:
+// nonzero override wins, negative means "explicitly unlimited" (a trusted
+// tenant on a rate-limited daemon).
+func (o Options) effectiveLimits(key Key) limits {
+	l := limits{rate: o.RateLimit, burst: float64(o.RateBurst), maxStreams: o.MaxStreamsPerTenant}
+	if key.RateLimit != 0 {
+		l.rate = key.RateLimit
+	}
+	if key.RateBurst != 0 {
+		l.burst = float64(key.RateBurst)
+	}
+	if key.MaxStreams != 0 {
+		l.maxStreams = key.MaxStreams
+	}
+	if l.rate <= 0 {
+		l.rate, l.burst = 0, 0
+		return l
+	}
+	if l.burst < 1 {
+		// A burst below one token would reject everything; the floor is
+		// "at least one full request, or one second's refill if larger".
+		l.burst = math.Max(1, math.Ceil(l.rate))
+	}
+	return l
+}
+
+// bucket is one tenant's token bucket plus its live-stream count.
+type bucket struct {
+	tokens  float64
+	last    time.Time
+	streams int
+}
+
+// limiter owns every tenant's bucket. All methods are safe for concurrent
+// use; the critical sections are a few float ops, so one mutex for the
+// whole map is cheaper than sharding at daemon request rates.
+type limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// now is the clock; tests swap in a fake to step time deterministically.
+	now func() time.Time
+}
+
+func newLimiter() *limiter {
+	return &limiter{buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// tenantBucket finds or mints the tenant's bucket. Callers hold l.mu.
+// A new bucket starts full: the first thing a fresh tenant does should
+// not be rejected.
+func (l *limiter) tenantBucket(tenant string, lim limits) *bucket {
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: lim.burst, last: l.now()}
+		l.buckets[tenant] = b
+	}
+	return b
+}
+
+// allow spends one token from the tenant's bucket. When the bucket is
+// empty it reports false plus how long until the next token accrues —
+// the Retry-After the 429 carries.
+func (l *limiter) allow(tenant string, lim limits) (ok bool, retryAfter time.Duration) {
+	if lim.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.tenantBucket(tenant, lim)
+	now := l.now()
+	b.tokens = math.Min(lim.burst, b.tokens+now.Sub(b.last).Seconds()*lim.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / lim.rate * float64(time.Second))
+}
+
+// acquireStream reserves a stream-subscriber slot for the tenant. On
+// success the returned release MUST be called exactly once when the
+// stream ends (it is nil on failure). The cap is per tenant, so one
+// tenant saturating its slots never blocks another's streams.
+func (l *limiter) acquireStream(tenant string, lim limits) (ok bool, release func()) {
+	if lim.maxStreams <= 0 {
+		return true, func() {}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.tenantBucket(tenant, lim)
+	if b.streams >= lim.maxStreams {
+		return false, nil
+	}
+	b.streams++
+	var once sync.Once
+	return true, func() {
+		once.Do(func() {
+			l.mu.Lock()
+			b.streams--
+			l.mu.Unlock()
+		})
+	}
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds for the Retry-After
+// header (minimum 1 — "0" would tell the client to hammer).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

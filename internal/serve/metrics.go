@@ -40,6 +40,21 @@ var (
 		"1 while the server is draining for shutdown (new submissions get 503).")
 	mStoreErrors = obs.NewCounter("campaignd_store_errors_total",
 		"Persistence failures (the affected campaigns themselves completed).")
+
+	// Front-door metrics (auth + rate limiting; see auth.go / limit.go).
+	// The auth-failure reasons are a closed set, so a frozen CounterVec
+	// fits; the tenant families are dynamic LabeledCounters because tenants
+	// arrive at runtime with the keyfile and an unminted family is simply
+	// omitted from the exposition.
+	mAuthFailures = obs.NewCounterVec("serve_auth_failures_total",
+		"Rejected campaign-API requests by reason: missing (no key presented, 401), unknown (key not in the ring, 403), disabled (key present but disabled, 403).",
+		"reason", "missing", "unknown", "disabled")
+	mRateLimited = obs.NewLabeledCounter("serve_rate_limited_total",
+		"Requests rejected with 429 per tenant (token bucket empty or stream-subscriber cap reached); anonymous traffic appears as tenant=\"anonymous\".",
+		"tenant")
+	mTenantSubmissions = obs.NewLabeledCounter("serve_tenant_submissions_total",
+		"Campaign submissions accepted or served from cache over HTTP, per tenant.",
+		"tenant")
 )
 
 // handleMetrics serves the process-wide obs registry: every layer's
@@ -87,7 +102,7 @@ type versionResponse struct {
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, versionResponse{
+	s.writeJSON(w, r, http.StatusOK, versionResponse{
 		buildInfo: s.build,
 		UptimeS:   time.Since(s.start).Seconds(),
 	})

@@ -46,6 +46,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,29 @@ type Options struct {
 	// from disk with no re-run. Zero means CacheMax (adopting more than
 	// the registry cap would evict the excess immediately anyway).
 	WarmLoad int
+	// AuthKeys, when non-empty, enables API-key auth on the campaign API
+	// (POST /campaigns, GET /campaigns[/{id}[/stream]]): requests must
+	// present a configured key (Authorization: Bearer or X-API-Key) and are
+	// tagged with that key's tenant. Empty preserves anonymous mode —
+	// behavior byte-identical to a pre-auth daemon. The ops surface
+	// (/healthz, /metrics, /stats, /version) is never gated. Swap keys at
+	// runtime with SetKeys.
+	AuthKeys []Key
+	// RateLimit is the default per-tenant token-bucket rate on submissions
+	// and stream subscriptions, in requests/second; over-quota requests get
+	// 429 with Retry-After. Zero or negative disables rate limiting. Each
+	// tenant gets its own bucket (anonymous traffic shares one), so one
+	// tenant's burst cannot consume another's quota. Keyfile entries may
+	// override per tenant (Key.RateLimit).
+	RateLimit float64
+	// RateBurst is the default bucket capacity: how many requests a tenant
+	// may issue back-to-back before the per-second rate applies. Zero means
+	// max(1, ceil(RateLimit)).
+	RateBurst int
+	// MaxStreamsPerTenant caps concurrent stream subscribers per tenant;
+	// the cap trips with 429. Zero or negative means unlimited. Keyfile
+	// entries may override per tenant (Key.MaxStreams).
+	MaxStreamsPerTenant int
 	// Logger receives the daemon's structured log stream: one startup
 	// line with the effective configuration, then one line per campaign
 	// lifecycle event (submit, run, finish, commit, replay, drain), each
@@ -136,6 +160,15 @@ type Server struct {
 	// out of the registry mutex.
 	subscribers atomic.Int64
 	subDrops    atomic.Uint64
+
+	// keys is the installed keyring (nil = anonymous mode); swapped
+	// atomically by SetKeys so SIGHUP reloads never block a request.
+	// limiter holds every tenant's token bucket and stream count;
+	// authFailures / rateLimited feed the /stats counters.
+	keys         atomic.Pointer[Keyring]
+	limiter      *limiter
+	authFailures atomic.Uint64
+	rateLimited  atomic.Uint64
 
 	mu          sync.Mutex
 	byID        map[string]*Campaign
@@ -184,14 +217,20 @@ func New(opts Options) (*Server, error) {
 		logger = slog.New(discardHandler{})
 	}
 	s := &Server{
-		opts:   opts,
-		spool:  core.NewMultiSink(),
-		logger: logger,
-		start:  time.Now(),
-		build:  readBuildInfo(),
-		queue:  make(chan *Campaign, opts.QueueDepth),
-		byID:   make(map[string]*Campaign),
-		byFP:   make(map[string]*Campaign),
+		opts:    opts,
+		spool:   core.NewMultiSink(),
+		logger:  logger,
+		start:   time.Now(),
+		build:   readBuildInfo(),
+		queue:   make(chan *Campaign, opts.QueueDepth),
+		byID:    make(map[string]*Campaign),
+		byFP:    make(map[string]*Campaign),
+		limiter: newLimiter(),
+	}
+	if len(opts.AuthKeys) > 0 {
+		if err := s.SetKeys(opts.AuthKeys); err != nil {
+			return nil, err
+		}
 	}
 	if opts.StoreDir != "" {
 		bootStart := time.Now()
@@ -231,10 +270,12 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
-	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
-	s.mux.HandleFunc("GET /campaigns", s.handleList)
-	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
+	// The campaign API sits behind the auth gate (a pass-through in
+	// anonymous mode); the ops surface above stays open — see authed.
+	s.mux.HandleFunc("POST /campaigns", s.authed(s.handleSubmit))
+	s.mux.HandleFunc("GET /campaigns", s.authed(s.handleList))
+	s.mux.HandleFunc("GET /campaigns/{id}", s.authed(s.handleGet))
+	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.authed(s.handleStream))
 
 	for i := 0; i < opts.Concurrency; i++ {
 		s.wg.Add(1)
@@ -250,6 +291,8 @@ func New(opts Options) (*Server, error) {
 		"segment_format", string(opts.SegmentFormat),
 		"warm_loaded", s.warmLoaded,
 		"warm_deferred", s.warmDeferred,
+		"auth_enabled", s.AuthEnabled(),
+		"rate_limit", opts.RateLimit,
 		"go_version", s.build.GoVersion,
 		"version", s.build.Version,
 	)
@@ -353,9 +396,9 @@ func (s *Server) execute(c *Campaign) {
 	mQueueWait.Observe(time.Since(c.queuedAt))
 	c.setRunning()
 	runStart := time.Now()
-	s.logger.Info("campaign running",
+	s.logger.Info("campaign running", withTenant([]any{
 		"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint,
-		"queue_wait_ms", float64(time.Since(c.queuedAt).Microseconds())/1000)
+		"queue_wait_ms", float64(time.Since(c.queuedAt).Microseconds()) / 1000}, c.tenant)...)
 	if s.gate != nil {
 		<-s.gate
 	}
@@ -400,10 +443,10 @@ func (s *Server) execute(c *Campaign) {
 	if err != nil {
 		status = "failed"
 	}
-	s.logger.Info("campaign finished",
+	s.logger.Info("campaign finished", withTenant([]any{
 		"trace_id", c.traceID, "campaign", c.id, "status", status,
 		"runs", stats.Runs, "planned", stats.Planned, "recoveries", stats.Recoveries,
-		"run_ms", float64(time.Since(runStart).Microseconds())/1000, "err", errString(err))
+		"run_ms", float64(time.Since(runStart).Microseconds()) / 1000, "err", errString(err)}, c.tenant)...)
 }
 
 // errString renders an error for a log attribute without nil panics.
@@ -472,7 +515,7 @@ var errQueueFull = errors.New("serve: run queue full")
 // new grid run was scheduled. A previously failed campaign does not
 // satisfy its fingerprint: resubmitting replaces it with a fresh attempt.
 func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
-	return s.SubmitTraced(spec, obs.NewTraceID())
+	return s.submitTenant(spec, obs.NewTraceID(), "")
 }
 
 // SubmitTraced is Submit with a caller-supplied trace ID. A new campaign
@@ -482,6 +525,18 @@ func (s *Server) Submit(spec Spec) (c *Campaign, cached bool, err error) {
 // measurement being followed is the first one). Invalid IDs (see
 // obs.ValidTraceID) are replaced, never rejected.
 func (s *Server) SubmitTraced(spec Spec, trace string) (c *Campaign, cached bool, err error) {
+	return s.submitTenant(spec, trace, "")
+}
+
+// submitTenant is the full submission path: SubmitTraced plus the tenant
+// identity resolved by the auth middleware. A new campaign records the
+// tenant for its lifetime (View.Tenant, lifecycle log lines); a cached hit
+// keeps the original campaign's tenant — the characterization cache is
+// deliberately shared across tenants, since a fingerprint identifies the
+// same physical measurement no matter who asks for it. Empty tenant is
+// anonymous mode and adds nothing anywhere, keeping auth-off output
+// byte-identical to a pre-auth daemon.
+func (s *Server) submitTenant(spec Spec, trace, tenant string) (c *Campaign, cached bool, err error) {
 	if !obs.ValidTraceID(trace) {
 		trace = obs.NewTraceID()
 	}
@@ -536,9 +591,9 @@ func (s *Server) SubmitTraced(spec Spec, trace string) (c *Campaign, cached bool
 			}
 			s.mu.Unlock()
 			mSubmissions.With("cached").Inc()
-			s.logger.Info("submission served from cache",
+			s.logger.Info("submission served from cache", withTenant([]any{
 				"trace_id", prev.traceID, "campaign", prev.id,
-				"fingerprint", fp, "from_disk", fromDisk)
+				"fingerprint", fp, "from_disk", fromDisk}, tenant)...)
 			return prev, true, nil
 		}
 		break // miss (or failed predecessor): schedule a fresh run
@@ -546,6 +601,7 @@ func (s *Server) SubmitTraced(spec Spec, trace string) (c *Campaign, cached bool
 	s.submissions++
 	c = newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, fp, s.spool)
 	c.traceID = trace
+	c.tenant = tenant
 	c.queuedAt = time.Now()
 	// Enqueue and register under one critical section: a rejected
 	// submission leaves no trace, and a registered campaign is always
@@ -566,10 +622,20 @@ func (s *Server) SubmitTraced(spec Spec, trace string) (c *Campaign, cached bool
 	s.mu.Unlock()
 	mSubmissions.With("accepted").Inc()
 	mQueueLen.Inc()
-	s.logger.Info("campaign queued",
+	s.logger.Info("campaign queued", withTenant([]any{
 		"trace_id", trace, "campaign", c.id, "fingerprint", fp,
-		"strategy", string(spec.Strategy), "benches", len(spec.Benches))
+		"strategy", string(spec.Strategy), "benches", len(spec.Benches)}, tenant)...)
 	return c, false, nil
+}
+
+// withTenant appends a tenant attribute to a log argument list, or leaves
+// it untouched for anonymous submissions so auth-off log lines stay
+// exactly as they always were.
+func withTenant(args []any, tenant string) []any {
+	if tenant == "" {
+		return args
+	}
+	return append(args, "tenant", tenant)
 }
 
 // touchLocked bumps a campaign's LRU clock. Callers hold s.mu.
@@ -634,41 +700,106 @@ type submitResponse struct {
 	TraceID string `json:"trace_id"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes a JSON response body. An Encode failure here means the
+// client is already gone or the connection broke mid-body — the status
+// line is sent, so nothing can be retracted — but it must not vanish:
+// one warn line per failed response keeps "clients see truncated JSON"
+// diagnosable from the daemon side.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Warn("response encode failed",
+			"path", r.URL.Path, "remote", r.RemoteAddr, "status", status, "err", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, map[string]string{"error": err.Error()})
+}
+
+// maxSubmitBytes caps a POST /campaigns body. A Spec is a few hundred
+// bytes of knobs; a megabyte is three orders of magnitude of headroom,
+// and anything larger is a mistake or an attack on the decoder.
+const maxSubmitBytes = 1 << 20
+
+// errRateLimited is the 429 body; the Retry-After header carries the wait.
+var errRateLimited = errors.New("serve: rate limit exceeded, see Retry-After")
+
+// rejectRate writes a 429 with Retry-After and accounts for it.
+func (s *Server) rejectRate(w http.ResponseWriter, r *http.Request, tenant string, wait time.Duration) {
+	s.rateLimited.Add(1)
+	mRateLimited.With(tenantLabel(tenant)).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+	s.logger.Warn("rate limited",
+		"tenant", tenantLabel(tenant), "path", r.URL.Path, "remote", r.RemoteAddr)
+	s.writeError(w, r, http.StatusTooManyRequests, errRateLimited)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec Spec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	key := keyOf(r)
+	lim := s.opts.effectiveLimits(key)
+	if ok, wait := s.limiter.allow(key.Tenant, lim); !ok {
 		mSubmissions.With("rejected").Inc()
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode spec: %w", err))
+		s.rejectRate(w, r, key.Tenant, wait)
+		return
+	}
+	// The body cap turns an unbounded read into a 413; the post-decode
+	// Token probe turns silently ignored trailing garbage into a 400
+	// (trailing whitespace stays legal — the decoder skips it to EOF).
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	dec := json.NewDecoder(r.Body)
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		mSubmissions.With("rejected").Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: spec body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: decode spec: %w", err))
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		mSubmissions.With("rejected").Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: spec body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, r, http.StatusBadRequest,
+			errors.New("serve: trailing data after spec object"))
 		return
 	}
 	// A client-supplied X-Trace-ID seeds a NEW campaign's trace; invalid
 	// or absent ones are minted server-side (obs.ValidTraceID gates what
 	// can reach headers and log lines).
-	c, cached, err := s.SubmitTraced(spec, r.Header.Get("X-Trace-ID"))
+	c, cached, err := s.submitTenant(spec, r.Header.Get("X-Trace-ID"), key.Tenant)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, errQueueFull) || errors.Is(err, errDraining) || errors.Is(err, errStoreUnavailable) {
+		switch {
+		case errors.Is(err, errDraining):
+			// Draining never un-drains; tell clients to find another
+			// daemon rather than hammer this one on its way down.
 			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "5")
+		case errors.Is(err, errQueueFull), errors.Is(err, errStoreUnavailable):
+			// Transient: a queue slot or the store can free up quickly.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
-		writeError(w, status, err)
+		s.writeError(w, r, status, err)
 		return
 	}
+	mTenantSubmissions.With(tenantLabel(key.Tenant)).Inc()
 	status := http.StatusAccepted
 	if cached {
 		status = http.StatusOK
 	}
 	w.Header().Set("X-Trace-ID", c.traceID)
-	writeJSON(w, status, submitResponse{
+	s.writeJSON(w, r, status, submitResponse{
 		ID:          c.id,
 		Fingerprint: c.fingerprint,
 		Status:      c.Status(),
@@ -686,16 +817,16 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, c := range campaigns {
 		views = append(views, c.view())
 	}
-	writeJSON(w, http.StatusOK, views)
+	s.writeJSON(w, r, http.StatusOK, views)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	c := s.lookup(r.PathValue("id"))
 	if c == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, c.view())
+	s.writeJSON(w, r, http.StatusOK, c.view())
 }
 
 // handleStream tails a campaign: buffered records first (cache replay),
@@ -707,9 +838,26 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // truncated one must confirm via GET /campaigns/{id} (status "done");
 // SSE clients get the terminal status in the "done" event instead.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Stream subscriptions draw from the same per-tenant token bucket as
+	// submissions, and additionally occupy one of the tenant's concurrent
+	// stream slots for as long as the tail lasts.
+	key := keyOf(r)
+	lim := s.opts.effectiveLimits(key)
+	if ok, wait := s.limiter.allow(key.Tenant, lim); !ok {
+		s.rejectRate(w, r, key.Tenant, wait)
+		return
+	}
+	ok, release := s.limiter.acquireStream(key.Tenant, lim)
+	if !ok {
+		// Slots free when some existing stream ends; "1" is the soonest
+		// that is honest without tracking stream lifetimes.
+		s.rejectRate(w, r, key.Tenant, time.Second)
+		return
+	}
+	defer release()
 	c := s.lookup(r.PathValue("id"))
 	if c == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: unknown campaign %q", r.PathValue("id")))
 		return
 	}
 	// An adopted campaign replays from disk: read the segment back before
@@ -717,7 +865,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// a lost segment marks the campaign failed and the stream below
 	// terminates with that status.
 	if err := s.hydrate(c); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -732,6 +881,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// to the batch report.
 	w.Header().Set("X-Trace-ID", c.traceID)
 	flusher, _ := w.(http.Flusher)
+	// Commit the response immediately: a subscriber to a campaign that has
+	// not produced its first record yet should see the stream established
+	// (status + headers) now, not when the first frame lands. Body bytes
+	// are untouched, so byte-identity with the batch report holds.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
 
 	s.subscribers.Add(1)
 	mSubscribers.Inc()
@@ -795,6 +952,13 @@ type statsResponse struct {
 	// DroppedRecords counts records discarded by this server's
 	// Drop-policy subscriber sinks (slow consumers; see SubscribeChan).
 	DroppedRecords uint64 `json:"dropped_records"`
+	// AuthEnabled reports whether a keyring is installed; AuthFailures and
+	// RateLimited count rejected requests (401/403 and 429). All three are
+	// omitted while zero/false so an anonymous, unlimited daemon's /stats
+	// is unchanged from pre-auth builds.
+	AuthEnabled  bool   `json:"auth_enabled,omitempty"`
+	AuthFailures uint64 `json:"auth_failures,omitempty"`
+	RateLimited  uint64 `json:"rate_limited,omitempty"`
 	// UptimeS is seconds since New; Build identifies the binary.
 	UptimeS  float64        `json:"uptime_s"`
 	Build    buildInfo      `json:"build"`
@@ -845,6 +1009,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 		Subscribers:    s.subscribers.Load(),
 		DroppedRecords: s.subDrops.Load(),
+		AuthEnabled:    s.AuthEnabled(),
+		AuthFailures:   s.authFailures.Load(),
+		RateLimited:    s.rateLimited.Load(),
 		UptimeS:        time.Since(s.start).Seconds(),
 		Build:          s.build,
 		Statuses:       make(map[Status]int),
@@ -870,5 +1037,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, c := range campaigns {
 		resp.Statuses[c.Status()]++
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
