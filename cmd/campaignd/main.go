@@ -11,9 +11,11 @@
 //	          [-segment-format jsonl|binary] [-drain-timeout d]
 //	          [-auth-keys k=tenant,...] [-auth-keyfile file]
 //	          [-rate-limit req/s] [-rate-burst N] [-max-streams N]
+//	          [-peers host:port,... -peer-id host:port [-fleet-secret s]]
 //	          [-pprof-addr host:port] [-log-format text|json]
 //	          [-loadtest [-loadtest-submitters N] [-loadtest-campaigns N]
-//	                     [-loadtest-tailers M] [-loadtest-out file]]
+//	                     [-loadtest-tailers M] [-loadtest-out file]
+//	                     [-loadtest-peers url,...]]
 //
 // The front door is open by default (anonymous mode). -auth-keys (inline
 // secret=tenant pairs) or -auth-keyfile (a JSON array of keyring entries;
@@ -39,11 +41,27 @@
 // JSON encoding. GET /metrics exposes every layer's counters in Prometheus
 // text format, and GET /version reports the build.
 //
+// -peers federates this daemon into a static fleet (see internal/fleet):
+// every member runs with the identical -peers list plus its own -peer-id,
+// spec fingerprints are consistent-hashed across the members, and a local
+// cache/store miss is answered by fetching the owning peer's committed
+// segment over GET /fleet/segments/{fingerprint} instead of re-running the
+// grid — one characterization per fingerprint fleet-wide. The peer
+// protocol rides this same listener, bypasses the tenant keyring and rate
+// limiter, and is gated by -fleet-secret (the same value on every member)
+// when set. Dead peers are ejected after consecutive failures and probed
+// back half-open; a fleet losing members degrades to local compute, never
+// to errors.
+//
 // With -loadtest the daemon instead drives its built-in load harness
 // (internal/loadtest) against its own listener — N concurrent submitters x
 // unique campaigns, M stream tailers each — prints the result JSON
 // (throughput plus exact p50/p90/p99 submit, first-record and stream
-// latencies; see BENCH_load.json), and exits.
+// latencies; see BENCH_load.json), and exits. -loadtest-peers spreads the
+// submitters round-robin across a comma-separated list of peer base URLs
+// instead and resubmits every campaign to the next peer, so a federated
+// fleet's replication path is exercised and reported per peer in the
+// result's "peers" block.
 //
 // With -store-dir the daemon is durable: every finished campaign's record
 // stream is committed to an on-disk segment store, a restarted daemon
@@ -96,10 +114,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/loadtest"
 	"repro/internal/serve"
 	"repro/internal/wire"
@@ -135,6 +155,9 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	rateLimit := fs.Float64("rate-limit", 0, "per-tenant token-bucket rate on submissions and stream subscriptions (requests/second); 0 = unlimited")
 	rateBurst := fs.Int("rate-burst", 0, "per-tenant bucket capacity (back-to-back requests before -rate-limit applies); 0 = max(1, ceil(rate))")
 	maxStreams := fs.Int("max-streams", 0, "per-tenant concurrent stream-subscriber cap; 0 = unlimited")
+	peers := fs.String("peers", "", "static fleet membership as host:port[,host:port...], identical on every member; enables the fleet peer protocol")
+	peerID := fs.String("peer-id", "", "this daemon's own entry in -peers (host:port)")
+	fleetSecret := fs.String("fleet-secret", "", "shared secret authenticating fleet-internal traffic (X-Fleet-Secret header), same value on every member")
 	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this separate listener (empty = disabled)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json (one line per campaign lifecycle event, each carrying its trace ID)")
 	ltRun := fs.Bool("loadtest", false, "run the built-in load harness against this daemon's own listener, print the result JSON, and exit")
@@ -142,6 +165,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	ltCampaigns := fs.Int("loadtest-campaigns", 4, "loadtest: campaigns per submitter (unique specs, no cache hits)")
 	ltTailers := fs.Int("loadtest-tailers", 2, "loadtest: concurrent stream tailers per campaign")
 	ltOut := fs.String("loadtest-out", "", "loadtest: write the result JSON to this file (default stdout)")
+	ltPeers := fs.String("loadtest-peers", "", "loadtest: comma-separated peer base URLs to spread submitters across (fleet mode; default: this daemon's own listener)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -163,6 +187,23 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	}
 	if *rateBurst != 0 && *rateLimit <= 0 {
 		return errors.New("-rate-burst needs -rate-limit")
+	}
+	if (*peers == "") != (*peerID == "") {
+		return errors.New("-peers and -peer-id are required together")
+	}
+	if *fleetSecret != "" && *peers == "" {
+		return errors.New("-fleet-secret needs -peers")
+	}
+	var fleetOpts *fleet.Options
+	if *peers != "" {
+		members, self, err := fleet.ParsePeers(*peers, *peerID)
+		if err != nil {
+			return err
+		}
+		fleetOpts = &fleet.Options{Self: self, Peers: members, Secret: *fleetSecret}
+	}
+	if *ltPeers != "" && !*ltRun {
+		return errors.New("-loadtest-peers needs -loadtest")
 	}
 	// loadKeys assembles the keyring from both sources — inline flags plus
 	// the keyfile — so SIGHUP reloads (which re-run this) cannot drop the
@@ -216,6 +257,7 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		RateLimit:           *rateLimit,
 		RateBurst:           *rateBurst,
 		MaxStreamsPerTenant: *maxStreams,
+		Fleet:               fleetOpts,
 		Logger:              logger,
 	})
 	if err != nil {
@@ -227,6 +269,10 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	}
 	if len(keys) > 0 {
 		fmt.Fprintf(w, "campaignd auth enabled (%d keys)\n", len(keys))
+	}
+	if fleetOpts != nil {
+		fmt.Fprintf(w, "campaignd fleet member %s of %d peers\n",
+			fleetOpts.Self.ID, len(fleetOpts.Peers))
 	}
 
 	if *authKeyfile != "" {
@@ -331,9 +377,26 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 				break
 			}
 		}
+		// -loadtest-peers swaps the single self-target for a fleet of base
+		// URLs; scheme-less entries get http:// so the flag takes the same
+		// host:port names as -peers.
+		var ltPeerURLs []string
+		if *ltPeers != "" {
+			for _, raw := range strings.Split(*ltPeers, ",") {
+				u := strings.TrimSpace(raw)
+				if u == "" {
+					continue
+				}
+				if !strings.Contains(u, "://") {
+					u = "http://" + u
+				}
+				ltPeerURLs = append(ltPeerURLs, u)
+			}
+		}
 		res, err := loadtest.Run(ctx, loadtest.Config{
 			BaseURL:               "http://" + ln.Addr().String(),
 			APIKey:                ltKey,
+			PeerBaseURLs:          ltPeerURLs,
 			Submitters:            *ltSubmitters,
 			CampaignsPerSubmitter: *ltCampaigns,
 			Tailers:               *ltTailers,

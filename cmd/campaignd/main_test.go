@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -541,5 +542,124 @@ func TestDaemonJSONLogs(t *testing.T) {
 		if !sawLifecycle[want] {
 			t.Errorf("no JSON log line %q with trace %s\nlogs:\n%s", want, sub.TraceID, out.String())
 		}
+	}
+}
+
+// TestDaemonFleetFlags pins the CLI fleet wiring: the bad flag combinations
+// are rejected before the listener comes up, and a federated pair of
+// daemons started with real -peers/-peer-id/-fleet-secret flags replicates
+// a characterization instead of re-running it.
+func TestDaemonFleetFlags(t *testing.T) {
+	var out syncWriter
+	for _, args := range [][]string{
+		{"-peers", "a:1,b:2"},                     // -peers without -peer-id
+		{"-peer-id", "a:1"},                       // -peer-id without -peers
+		{"-fleet-secret", "hush"},                 // -fleet-secret without -peers
+		{"-peers", "a:1", "-peer-id", "a:1"},      // fleet of one
+		{"-peers", "a:1,b:2", "-peer-id", "c:3"},  // self not a member
+		{"-loadtest-peers", "http://127.0.0.1:1"}, // -loadtest-peers without -loadtest
+	} {
+		if err := run(context.Background(), &out, args, nil); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+
+	// A federated pair: fixed ports (the fleet membership is static
+	// configuration, so the peers must know each other's addresses up
+	// front). Two free ports are reserved and released just before boot.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peerList := strings.Join(addrs, ",")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bases := make([]string, 2)
+	for i, addr := range addrs {
+		var log syncWriter
+		base, _ := startDaemon(t, ctx, &log, []string{
+			"-addr", addr, "-store-dir", t.TempDir(),
+			"-peers", peerList, "-peer-id", addr, "-fleet-secret", "hush",
+		})
+		bases[i] = base
+		deadline := time.Now().Add(5 * time.Second)
+		for !strings.Contains(log.String(), "campaignd fleet member "+addr+" of 2 peers") {
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon %d missing fleet banner:\n%s", i, log.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	spec := `{"seed":21,"benches":["mcf"],"voltages_mv":[980,940],"repetitions":1}`
+	post := func(base string) (cached bool, stream string) {
+		t.Helper()
+		resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sub struct {
+			Cached bool   `json:"cached"`
+			Stream string `json:"stream"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub.Cached, sub.Stream
+	}
+	tail := func(base, stream string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cached, stream := post(bases[0])
+	if cached {
+		t.Fatal("first submission claimed cached")
+	}
+	live := tail(bases[0], stream)
+
+	// The other peer answers the same fingerprint by replication: cache
+	// hit, byte-identical stream, zero grids run on its side.
+	cached, stream = post(bases[1])
+	if !cached {
+		t.Fatal("peer B re-ran a characterization peer A had committed")
+	}
+	if replica := tail(bases[1], stream); !bytes.Equal(replica, live) {
+		t.Error("replicated stream differs from the origin's live stream")
+	}
+	resp, err := http.Get(bases[1] + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		GridsRun int `json:"grids_run"`
+		Fleet    *struct {
+			Replications uint64 `json:"replications"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.GridsRun != 0 {
+		t.Errorf("peer B ran %d grids, want 0", stats.GridsRun)
+	}
+	if stats.Fleet == nil || stats.Fleet.Replications != 1 {
+		t.Errorf("peer B fleet stats = %+v, want 1 replication", stats.Fleet)
 	}
 }

@@ -1,0 +1,267 @@
+// fleet-peers demonstrates the federated campaignd fleet end to end: three
+// in-process daemons share one static -peers list, spec fingerprints are
+// consistent-hashed across them, and a characterization measured by one
+// peer is answered by every other peer through read-through replication —
+// fetched over the fleet protocol, adopted into the local store, streamed
+// byte-identically, zero grids re-run. Then one peer dies and the fleet
+// keeps answering: degradation is local compute, never errors.
+//
+//	go run ./examples/fleet-peers
+//	go run ./examples/fleet-peers -benches mcf,namd -reps 2
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	guardband "repro"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// daemon is one in-process fleet member: a serve.Server federated via
+// internal/fleet, spoken to over real HTTP.
+type daemon struct {
+	id   string
+	srv  *serve.Server
+	hs   *http.Server
+	base string
+	dir  string
+}
+
+// startFleet boots n federated daemons. The listeners are created first so
+// every member can be configured with the complete membership — a fleet is
+// static configuration, identical on every peer.
+func startFleet(n int, secret string) ([]*daemon, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	list := strings.Join(addrs, ",")
+	daemons := make([]*daemon, n)
+	for i, ln := range listeners {
+		members, self, err := fleet.ParsePeers(list, addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "fleet-peers-*")
+		if err != nil {
+			return nil, err
+		}
+		srv, err := serve.New(serve.Options{
+			StoreDir: dir,
+			Fleet: &fleet.Options{
+				Self:    self,
+				Peers:   members,
+				Secret:  secret,
+				Timeout: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		daemons[i] = &daemon{id: addrs[i], srv: srv, hs: hs, base: "http://" + addrs[i], dir: dir}
+	}
+	return daemons, nil
+}
+
+func (d *daemon) kill() {
+	d.hs.Close()
+	d.srv.Close()
+	if d.dir != "" {
+		os.RemoveAll(d.dir)
+		d.dir = ""
+	}
+}
+
+// submitAndStream POSTs the spec and drains the NDJSON stream.
+func (d *daemon) submitAndStream(spec serve.Spec) (cached bool, stream []byte, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := http.Post(d.base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return false, nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var sub struct {
+		Cached bool   `json:"cached"`
+		Stream string `json:"stream"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return false, nil, err
+	}
+	sr, err := http.Get(d.base + sub.Stream)
+	if err != nil {
+		return false, nil, err
+	}
+	defer sr.Body.Close()
+	data, err := io.ReadAll(bufio.NewReader(sr.Body))
+	if err != nil {
+		return false, nil, err
+	}
+	return sub.Cached, data, nil
+}
+
+// fleetStats decodes the interesting counters from GET /stats.
+func (d *daemon) fleetStats() (gridsRun int, replications, served uint64, err error) {
+	resp, err := http.Get(d.base + "/stats")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		GridsRun int `json:"grids_run"`
+		Fleet    *struct {
+			Replications   uint64 `json:"replications"`
+			SegmentsServed uint64 `json:"segments_served"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, 0, err
+	}
+	if st.Fleet == nil {
+		return st.GridsRun, 0, 0, nil
+	}
+	return st.GridsRun, st.Fleet.Replications, st.Fleet.SegmentsServed, nil
+}
+
+// ringInfo fetches a peer's view of the fleet membership.
+func (d *daemon) ringInfo(secret string) (fleet.RingInfo, error) {
+	req, err := http.NewRequest("GET", d.base+"/fleet/ring", nil)
+	if err != nil {
+		return fleet.RingInfo{}, err
+	}
+	req.Header.Set(fleet.HeaderSecret, secret)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fleet.RingInfo{}, err
+	}
+	defer resp.Body.Close()
+	var info fleet.RingInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	return info, err
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("fleet-peers", flag.ContinueOnError)
+	benchList := fs.String("benches", "mcf,namd", "comma-separated benchmark names")
+	reps := fs.Int("reps", 1, "repetitions per grid cell")
+	seed := fs.Uint64("seed", guardband.DefaultSeed, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	const secret = "fleet-demo-secret"
+	daemons, err := startFleet(3, secret)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.kill()
+		}
+	}()
+	a, b, c := daemons[0], daemons[1], daemons[2]
+
+	fmt.Fprintf(w, "Federated fleet of %d campaignd daemons\n\n", len(daemons))
+	info, err := a.ringInfo(secret)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ring version %s, members:\n", info.Version)
+	for _, p := range info.Peers {
+		fmt.Fprintf(w, "  %s\n", p)
+	}
+
+	spec := serve.Spec{
+		Name:        "fleet-peers",
+		Seed:        *seed,
+		Benches:     strings.Split(*benchList, ","),
+		VoltagesMV:  []float64{980, 940, 900},
+		Repetitions: *reps,
+	}
+
+	// Peer A measures the grid the expensive way.
+	cached, live, err := a.submitAndStream(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n[peer A %s] submitted grid: cached=%v, streamed %d records\n",
+		a.id, cached, bytes.Count(live, []byte("\n")))
+
+	// Peer B answers the identical spec by replication: its fleet client
+	// locates the committed segment on A, fetches it over the peer
+	// protocol (CRC-checked), adopts it into its own store, and replays.
+	cached, replica, err := b.submitAndStream(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[peer B %s] resubmitted the same spec: cached=%v\n", b.id, cached)
+	if !cached {
+		return errors.New("replication failed: peer B re-ran the grid")
+	}
+	if !bytes.Equal(live, replica) {
+		return errors.New("replication failed: stream bytes differ")
+	}
+	gridsB, replB, _, err := b.fleetStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[peer B %s] replica stream is byte-identical; grids_run=%d, replications=%d\n",
+		b.id, gridsB, replB)
+	_, _, servedA, err := a.fleetStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[peer A %s] served %d segment(s) to the fleet\n", a.id, servedA)
+
+	// Kill peer C and submit a fresh spec through A: the dead peer costs
+	// bounded retries, then the fleet degrades to local compute.
+	c.kill()
+	fmt.Fprintf(w, "\n[peer C %s] killed — fleet keeps answering\n", c.id)
+	fresh := spec
+	fresh.Seed = *seed + 1
+	cached, records, err := a.submitAndStream(fresh)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[peer A %s] new spec after the death: cached=%v, streamed %d records\n",
+		a.id, cached, bytes.Count(records, []byte("\n")))
+
+	fmt.Fprintln(w, "\nOne characterization per fingerprint, fleet-wide: measure once, replicate everywhere.")
+	return nil
+}

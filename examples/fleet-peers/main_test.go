@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFleetPeers(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-benches", "mcf", "-reps", "1"}); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"ring version ",
+		"cached=false",
+		"cached=true",
+		"byte-identical",
+		"grids_run=0, replications=1",
+		"served 1 segment(s)",
+		"killed — fleet keeps answering",
+		"measure once, replicate everywhere",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-reps"}); err == nil {
+		t.Error("dangling -reps accepted")
+	}
+	if err := run(&out, []string{"-benches", "no-such-bench"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// (like a well-behaved fleet client), so a rate-limited daemon slows
 	// the run down instead of failing it.
 	APIKey string
+	// PeerBaseURLs, when non-empty, runs the harness in fleet mode: each
+	// submitter is pinned round-robin to one peer, and after a campaign's
+	// streams drain the identical spec is resubmitted to the NEXT peer —
+	// against a federated fleet (-peers) that second submission is a
+	// read-through replication (cache hit, zero grid runs on the second
+	// peer), and Result.Peers reports every peer's view of the run. With
+	// one entry this degenerates to plain single-daemon mode. BaseURL may
+	// be empty; the first peer stands in for it.
+	PeerBaseURLs []string
 	// Submitters is the number of concurrent submit workers (default 4).
 	Submitters int
 	// CampaignsPerSubmitter is how many unique campaigns each submitter
@@ -65,6 +74,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.BaseURL == "" && len(c.PeerBaseURLs) > 0 {
+		c.BaseURL = c.PeerBaseURLs[0]
+	}
 	if c.Submitters <= 0 {
 		c.Submitters = 4
 	}
@@ -125,6 +137,27 @@ type Result struct {
 	Submit      LatencySummary `json:"submit"`
 	FirstRecord LatencySummary `json:"first_record"`
 	Stream      LatencySummary `json:"stream"`
+
+	// Peers is present only in fleet mode (Config.PeerBaseURLs): one entry
+	// per peer, decoded from its GET /stats after the run. omitempty keeps
+	// the single-daemon BENCH_load.json schema unchanged.
+	Peers []PeerReport `json:"peers,omitempty"`
+}
+
+// PeerReport is one fleet member's accounting after a fleet-mode run: the
+// submissions and cache hits it absorbed, the grids it actually ran, and —
+// when the daemon is federated — how many characterizations it replicated
+// from peers versus served to them. Replications counted where grid runs
+// are not is the fleet working.
+type PeerReport struct {
+	BaseURL        string `json:"base_url"`
+	Submissions    int    `json:"submissions"`
+	CacheHits      int    `json:"cache_hits"`
+	GridsRun       int    `json:"grids_run"`
+	Replications   uint64 `json:"replications"`
+	SegmentsServed uint64 `json:"segments_served"`
+	PeerFetches    uint64 `json:"peer_fetches"`
+	PeerFailures   uint64 `json:"peer_failures"`
 }
 
 // summarize computes the exact distribution of a sample set.
@@ -249,6 +282,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(sub int) {
 			defer wg.Done()
+			// Fleet mode pins each submitter to one peer round-robin, so N
+			// submitters spread the primary load across the whole fleet.
+			base := cfg.BaseURL
+			if n := len(cfg.PeerBaseURLs); n > 0 {
+				base = cfg.PeerBaseURLs[sub%n]
+			}
 			for i := 0; i < cfg.CampaignsPerSubmitter; i++ {
 				if ctx.Err() != nil {
 					return
@@ -256,7 +295,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				// A unique seed per campaign makes every fingerprint fresh:
 				// the engine runs each grid, nothing is a cache hit.
 				seed := cfg.Seed + uint64(sub)*1_000_000 + uint64(i)
-				runCampaign(ctx, client, cfg, seed, col)
+				runCampaign(ctx, client, cfg, base, sub, seed, col)
 			}
 		}(sub)
 	}
@@ -289,13 +328,63 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		FirstRecord: summarize(col.firstRecord),
 		Stream:      summarize(col.stream),
 	}
+	for _, base := range cfg.PeerBaseURLs {
+		res.Peers = append(res.Peers, peerReport(ctx, client, cfg, base))
+	}
 	return res, nil
 }
 
-// runCampaign submits one spec and fans cfg.Tailers stream consumers out
-// over the resulting campaign, blocking until all of them reach EOF — so a
-// submitter's in-flight load is bounded and measurable.
-func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint64, col *collector) {
+// peerReport decodes one peer's GET /stats into its per-peer accounting.
+// A peer that died mid-run yields a zero report rather than failing the
+// whole harness — degraded fleets are exactly what the numbers are for.
+func peerReport(ctx context.Context, client *http.Client, cfg Config, base string) PeerReport {
+	pr := PeerReport{BaseURL: base}
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/stats", nil)
+	if err != nil {
+		return pr
+	}
+	cfg.authorize(req)
+	resp, err := client.Do(req)
+	if err != nil {
+		return pr
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Submissions int `json:"submissions"`
+		CacheHits   int `json:"cache_hits"`
+		GridsRun    int `json:"grids_run"`
+		Fleet       *struct {
+			Replications   uint64 `json:"replications"`
+			SegmentsServed uint64 `json:"segments_served"`
+			Peers          []struct {
+				Fetches  uint64 `json:"fetches"`
+				Failures uint64 `json:"failures"`
+			} `json:"peers"`
+		} `json:"fleet"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return pr
+	}
+	pr.Submissions = st.Submissions
+	pr.CacheHits = st.CacheHits
+	pr.GridsRun = st.GridsRun
+	if st.Fleet != nil {
+		pr.Replications = st.Fleet.Replications
+		pr.SegmentsServed = st.Fleet.SegmentsServed
+		for _, p := range st.Fleet.Peers {
+			pr.PeerFetches += p.Fetches
+			pr.PeerFailures += p.Failures
+		}
+	}
+	return pr
+}
+
+// runCampaign submits one spec against base and fans cfg.Tailers stream
+// consumers out over the resulting campaign, blocking until all of them
+// reach EOF — so a submitter's in-flight load is bounded and measurable.
+// In fleet mode it then resubmits the identical spec to the next peer and
+// drains one stream there, exercising the read-through replication path.
+func runCampaign(ctx context.Context, client *http.Client, cfg Config, base string, sub int, seed uint64, col *collector) {
 	spec := serve.Spec{
 		Seed:        seed,
 		Benches:     cfg.Benches,
@@ -308,12 +397,24 @@ func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint
 		col.fail(err)
 		return
 	}
+	submitAndTail(ctx, client, cfg, base, body, cfg.Tailers, col)
+	if n := len(cfg.PeerBaseURLs); n > 1 {
+		// The second submission lands on a different peer: a federated
+		// fleet answers it by fetching the first peer's committed segment
+		// (replications counted, zero extra grid runs); an unfederated
+		// pair re-runs the grid. Either way the stream must drain.
+		submitAndTail(ctx, client, cfg, cfg.PeerBaseURLs[(sub+1)%n], body, 1, col)
+	}
+}
 
+// submitAndTail POSTs one spec body to base and blocks until `tailers`
+// stream consumers reach EOF.
+func submitAndTail(ctx context.Context, client *http.Client, cfg Config, base string, body []byte, tailers int, col *collector) {
 	// t0 restarts on each 429 retry so the submit latency sample measures
 	// the accepted attempt, not the rate-limit sleeps around it.
 	var t0 time.Time
 	resp, err := doRetry429(ctx, client, func() (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, "POST", cfg.BaseURL+"/campaigns", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/campaigns", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -343,11 +444,11 @@ func runCampaign(ctx context.Context, client *http.Client, cfg Config, seed uint
 	col.mu.Unlock()
 
 	var tails sync.WaitGroup
-	for tail := 0; tail < cfg.Tailers; tail++ {
+	for tail := 0; tail < tailers; tail++ {
 		tails.Add(1)
 		go func() {
 			defer tails.Done()
-			tailStream(ctx, client, cfg, cfg.BaseURL+sr.Stream, col)
+			tailStream(ctx, client, cfg, base+sr.Stream, col)
 		}()
 	}
 	tails.Wait()

@@ -3,10 +3,14 @@ package loadtest
 import (
 	"context"
 	"encoding/json"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
@@ -155,5 +159,129 @@ func TestSummarize(t *testing.T) {
 	one := summarize([]time.Duration{5 * time.Millisecond})
 	if one.P50MS != 5 || one.P99MS != 5 || one.MinMS != 5 || one.MaxMS != 5 {
 		t.Errorf("single-sample summary: %+v", one)
+	}
+}
+
+// startFleetDaemons boots n federated in-process daemons on real listeners
+// and returns their base URLs.
+func startFleetDaemons(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	list := strings.Join(addrs, ",")
+	bases := make([]string, n)
+	for i, ln := range lns {
+		members, self, err := fleet.ParsePeers(list, addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(serve.Options{
+			Concurrency: 2, QueueDepth: 64, StoreDir: t.TempDir(),
+			Fleet: &fleet.Options{
+				Self: self, Peers: members,
+				Backoff: time.Millisecond, Timeout: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: s}
+		go hs.Serve(ln)
+		t.Cleanup(func() {
+			hs.Close()
+			s.Close()
+		})
+		bases[i] = "http://" + addrs[i]
+	}
+	return bases
+}
+
+// TestRunFleetMode pins the -loadtest-peers path: submitters spread across
+// a federated pair, every campaign is resubmitted to the next peer, and the
+// per-peer reports show the resubmissions answered by replication — cache
+// hits without grid runs — with the accounting visible in Result.Peers.
+func TestRunFleetMode(t *testing.T) {
+	bases := startFleetDaemons(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		PeerBaseURLs:          bases,
+		Submitters:            2,
+		CampaignsPerSubmitter: 1,
+		Tailers:               1,
+		Benches:               []string{"mcf"},
+		VoltagesMV:            []float64{980, 930},
+		Repetitions:           1,
+		Workers:               1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors: %d", res.Errors)
+	}
+	// 2 unique campaigns, each submitted twice (primary peer + next peer).
+	if res.Campaigns != 4 {
+		t.Errorf("campaigns = %d, want 4", res.Campaigns)
+	}
+	if len(res.Peers) != 2 {
+		t.Fatalf("peer reports = %d, want 2", len(res.Peers))
+	}
+	var grids, hits int
+	var repl, served, fetches uint64
+	for i, p := range res.Peers {
+		if p.BaseURL != bases[i] {
+			t.Errorf("peer %d base = %q, want %q", i, p.BaseURL, bases[i])
+		}
+		if p.Submissions != 2 {
+			t.Errorf("peer %d absorbed %d submissions, want 2", i, p.Submissions)
+		}
+		grids += p.GridsRun
+		hits += p.CacheHits
+		repl += p.Replications
+		served += p.SegmentsServed
+		fetches += p.PeerFetches
+	}
+	// Each unique grid ran exactly once fleet-wide; the resubmissions were
+	// replications (fetch + adopt), not recomputation.
+	if grids != 2 {
+		t.Errorf("fleet ran %d grids, want 2", grids)
+	}
+	if repl != 2 || served != 2 || hits != 2 {
+		t.Errorf("replications/served/hits = %d/%d/%d, want 2/2/2", repl, served, hits)
+	}
+	if fetches < 2 {
+		t.Errorf("peer fetches = %d, want >= 2", fetches)
+	}
+
+	// The peers block survives the JSON round trip under its schema names.
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	peersJSON, ok := m["peers"].([]any)
+	if !ok || len(peersJSON) != 2 {
+		t.Fatalf("result JSON peers = %v", m["peers"])
+	}
+	obj := peersJSON[0].(map[string]any)
+	for _, key := range []string{
+		"base_url", "submissions", "cache_hits", "grids_run",
+		"replications", "segments_served", "peer_fetches", "peer_failures",
+	} {
+		if _, ok := obj[key]; !ok {
+			t.Errorf("peer report missing %q", key)
+		}
 	}
 }

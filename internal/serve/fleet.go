@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// This file is the serve layer's half of the fleet federation
+// (internal/fleet): the server side of the peer protocol, and the submit
+// path's read-through replication. The division of labor: fleet owns the
+// ring, per-peer health and the fetch wire client; serve owns where
+// segments live (registry + durable store) and what adopting one means.
+//
+// Fleet traffic is deliberately outside both the tenant keyring and the
+// rate limiter — it authenticates with the shared fleet secret, and a
+// noisy tenant exhausting its token bucket must never starve peers of
+// replication (see TestFleetBypassesTenantLimits).
+
+var (
+	mFleetReplications = obs.NewCounter("fleet_replications_total",
+		"Characterizations adopted from fleet peers instead of running locally — each one is a whole campaign not re-measured.")
+	mFleetServed = obs.NewCounter("fleet_segments_served_total",
+		"Committed segments streamed to fleet peers over GET /fleet/segments.")
+	mFleetAuthFailures = obs.NewCounter("fleet_auth_failures_total",
+		"Fleet protocol requests rejected for a missing or wrong shared secret.")
+)
+
+// fleetStatsView is the federation's slice of GET /stats: the client's
+// ring/health/fetch counters plus this server's adoption bookkeeping.
+type fleetStatsView struct {
+	fleet.Stats
+	// Replications counts segments adopted from peers (grids_run stayed
+	// untouched for each); SegmentsServed counts segments streamed out.
+	Replications   uint64 `json:"replications"`
+	SegmentsServed uint64 `json:"segments_served"`
+}
+
+// fleetPeerCount / fleetSelfID feed the startup log line without making
+// the caller unwrap the optional config.
+func fleetPeerCount(o *fleet.Options) int {
+	if o == nil {
+		return 0
+	}
+	return len(o.Peers)
+}
+
+func fleetSelfID(o *fleet.Options) string {
+	if o == nil {
+		return ""
+	}
+	return o.Self.ID
+}
+
+var errFleetSecret = errors.New("serve: fleet secret missing or wrong")
+
+// fleetAuthed gates a fleet handler with the shared secret — compared
+// constant-time like any other credential. No secret configured means a
+// trusted network; the handlers still only exist when the fleet does.
+func (s *Server) fleetAuthed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if secret := s.fleet.Secret(); secret != "" {
+			want := sha256.Sum256([]byte(secret))
+			got := sha256.Sum256([]byte(r.Header.Get(fleet.HeaderSecret)))
+			if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+				mFleetAuthFailures.Inc()
+				s.logger.Warn("fleet request rejected: bad secret",
+					"path", r.URL.Path, "remote", r.RemoteAddr,
+					"peer", r.Header.Get(fleet.HeaderPeer))
+				s.writeError(w, r, http.StatusForbidden, errFleetSecret)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// handleFleetRing reports this daemon's identity and ring version so
+// peers (and operators) can detect membership disagreement directly.
+func (s *Server) handleFleetRing(w http.ResponseWriter, r *http.Request) {
+	ring := s.fleet.Ring()
+	peers := ring.Peers()
+	ids := make([]string, 0, len(peers))
+	for _, p := range peers {
+		ids = append(ids, p.ID)
+	}
+	w.Header().Set(fleet.HeaderPeer, s.fleet.Self().ID)
+	w.Header().Set(fleet.HeaderRing, ring.Version())
+	s.writeJSON(w, r, http.StatusOK, fleet.RingInfo{
+		Peer:    s.fleet.Self().ID,
+		Version: ring.Version(),
+		Peers:   ids,
+	})
+}
+
+var errRingMismatch = errors.New("serve: fleet ring version mismatch")
+
+// handleFleetSegment streams a committed characterization to a peer: the
+// manifest metadata in a header, the frames as a wire segment in the body
+// (binary framing with per-record CRCs by default, ?format=jsonl for
+// debugging). Only finished, whole campaigns are served; anything else is
+// a 404 and the requester characterizes locally.
+func (s *Server) handleFleetSegment(w http.ResponseWriter, r *http.Request) {
+	ring := s.fleet.Ring()
+	w.Header().Set(fleet.HeaderPeer, s.fleet.Self().ID)
+	w.Header().Set(fleet.HeaderRing, ring.Version())
+	if theirs := r.Header.Get(fleet.HeaderRing); theirs != "" && theirs != ring.Version() {
+		// A peer configured with a different membership must not exchange
+		// segments with this one: ownership disagrees, so replication
+		// would smear segments across a split brain.
+		s.fleet.NoteRingMismatch()
+		s.logger.Warn("fleet fetch rejected: ring mismatch",
+			"peer", r.Header.Get(fleet.HeaderPeer),
+			"ours", ring.Version(), "theirs", theirs)
+		s.writeError(w, r, http.StatusConflict, errRingMismatch)
+		return
+	}
+	fp := r.PathValue("fp")
+	frames, meta, err := s.fleetSegment(fp)
+	switch {
+	case errors.Is(err, errNoSegment):
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("serve: no committed segment for %q", fp))
+		return
+	case err != nil:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+
+	format := wire.FormatBinary
+	if q := r.URL.Query().Get("format"); q != "" {
+		if format, err = wire.ParseFormat(q); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+	}
+	w.Header().Set(fleet.HeaderMeta, base64.StdEncoding.EncodeToString(meta))
+	w.Header().Set(fleet.HeaderRecords, strconv.Itoa(len(frames)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if format == wire.FormatJSONL {
+		for _, f := range frames {
+			if err := countWrite(w.Write(f.Line)); err != nil {
+				return
+			}
+		}
+	} else {
+		if err := countWrite(w.Write(wire.Header())); err != nil {
+			return
+		}
+		var scratch []byte
+		for _, f := range frames {
+			scratch, err = wire.AppendBinaryRecord(scratch[:0], f.Rec)
+			if err != nil {
+				s.logger.Warn("fleet segment encode failed",
+					"fingerprint", fp, "err", err)
+				return // mid-body: the peer's CRC/count check rejects the tail
+			}
+			if err := countWrite(w.Write(scratch)); err != nil {
+				return
+			}
+		}
+	}
+	s.fleetServed.Add(1)
+	mFleetServed.Inc()
+	s.logger.Info("fleet segment served",
+		"fingerprint", fp, "records", len(frames),
+		"peer", r.Header.Get(fleet.HeaderPeer))
+}
+
+// errNoSegment means this daemon has no committed characterization for
+// the fingerprint — the peer protocol's 404.
+var errNoSegment = errors.New("serve: segment not here")
+
+// fleetSegment locates a finished characterization's frames and manifest
+// metadata: registry first (hydrating an adopted entry if needed), then
+// the durable store directly — peer traffic reads the store without
+// adopting into the registry, so replication cannot evict cache entries.
+func (s *Server) fleetSegment(fp string) ([]core.Frame, json.RawMessage, error) {
+	s.mu.Lock()
+	c := s.byFP[fp]
+	if c != nil {
+		s.touchLocked(c)
+	}
+	s.mu.Unlock()
+	if c != nil && c.Status() == StatusDone {
+		if err := s.hydrate(c); err != nil {
+			return nil, nil, err // transient store trouble: peer retries
+		}
+		if frames, stats, workers, ok := c.doneFrames(); ok {
+			meta, err := json.Marshal(metaOf(c.spec, workers, stats))
+			if err != nil {
+				return nil, nil, err
+			}
+			return frames, meta, nil
+		}
+		// Hydration lost the segment between checks; fall through to disk.
+	}
+	if s.store != nil {
+		if e, ok := s.store.Get(fp); ok {
+			frames, err := s.store.LoadFrames(fp)
+			if err != nil {
+				if _, still := s.store.Get(fp); still {
+					return nil, nil, fmt.Errorf("%w: %v", errStoreUnavailable, err)
+				}
+				return nil, nil, errNoSegment // quarantined: nothing to serve
+			}
+			return frames, e.Meta, nil
+		}
+	}
+	return nil, nil, errNoSegment
+}
+
+// doneFrames snapshots a finished, hydrated campaign's buffer for the
+// fleet protocol. The slice is capped at the observed length of the
+// append-only buffer, so reading it after the lock drops is safe.
+func (c *Campaign) doneFrames() ([]core.Frame, campaign.Stats, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.status != StatusDone || (c.fromStore && !c.hydrated) {
+		return nil, campaign.Stats{}, 0, false
+	}
+	return c.frames[:len(c.frames):len(c.frames)], c.stats, c.workers, true
+}
+
+// fleetFetch is the submit path's read-through: resolve the fingerprint
+// against the fleet and adopt what comes back. Every failure mode ends
+// the same way — the caller falls through to a local run — they differ
+// only in what gets logged and counted.
+func (s *Server) fleetFetch(fp, trace, tenant string) {
+	seg, err := s.fleet.Fetch(s.ctx, fp)
+	if err != nil {
+		var mm *fleet.MismatchError
+		switch {
+		case errors.Is(err, fleet.ErrNotFound):
+			s.logger.Info("fleet miss, characterizing locally", withTenant([]any{
+				"trace_id", trace, "fingerprint", fp}, tenant)...)
+		case errors.As(err, &mm):
+			s.logger.Warn("fleet fetch rejected: ring mismatch, characterizing locally",
+				withTenant([]any{"trace_id", trace, "fingerprint", fp,
+					"peer", mm.Peer, "ours", mm.Ours, "theirs", mm.Theirs}, tenant)...)
+		default:
+			s.logger.Warn("fleet fetch failed, characterizing locally", withTenant([]any{
+				"trace_id", trace, "fingerprint", fp, "err", err}, tenant)...)
+		}
+		return
+	}
+	if err := s.adoptRemote(fp, seg); err != nil {
+		s.logger.Warn("fleet segment rejected, characterizing locally", withTenant([]any{
+			"trace_id", trace, "fingerprint", fp, "peer", seg.Peer.ID, "err", err}, tenant)...)
+		return
+	}
+	s.logger.Info("characterization replicated from peer", withTenant([]any{
+		"trace_id", trace, "fingerprint", fp, "peer", seg.Peer.ID,
+		"records", len(seg.Frames)}, tenant)...)
+}
+
+// adoptRemote installs a fetched segment: persist it (best-effort), then
+// register a done, hydrated campaign so the submit loop's next pass is a
+// cache hit. Like adoptLocked, it refuses metadata that does not
+// fingerprint back to the key — a wrong or malicious peer must never
+// impersonate another spec's characterization.
+func (s *Server) adoptRemote(fp string, seg *fleet.Segment) error {
+	var m storedMeta
+	if err := json.Unmarshal(seg.Meta, &m); err != nil {
+		return fmt.Errorf("peer segment meta: %w", err)
+	}
+	stats, err := m.campaignStats()
+	if err != nil {
+		return fmt.Errorf("peer segment meta: %w", err)
+	}
+	spec := m.Spec.withDefaults()
+	if got := spec.Fingerprint(); got != fp {
+		return fmt.Errorf("peer segment meta fingerprints to %s, want %s", got, fp)
+	}
+	if len(seg.Frames) == 0 {
+		return errors.New("peer segment is empty")
+	}
+	if s.store != nil {
+		// Best-effort: losing durability must not turn a replicated hit
+		// into a failure — the in-memory adoption below still answers the
+		// submission, exactly like a local campaign whose commit failed.
+		if err := s.store.Adopt(fp, seg.Meta, seg.Frames); err != nil {
+			s.noteStoreError()
+			s.logger.Warn("replicated segment not persisted",
+				"fingerprint", fp, "err", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev := s.byFP[fp]; prev != nil && prev.Status() != StatusFailed {
+		return nil // a racer satisfied the fingerprint while we fetched
+	}
+	c := newStoredCampaign(fmt.Sprintf("c%06d", s.nextID), spec, fp,
+		s.spool, stats, m.Workers, len(seg.Frames))
+	s.evictLocked()
+	s.nextID++
+	s.byID[c.id] = c
+	s.byFP[fp] = c
+	s.order = append(s.order, c)
+	s.touchLocked(c)
+	c.hydrateWith(seg.Frames)
+	s.fleetReplications.Add(1)
+	mFleetReplications.Inc()
+	return nil
+}

@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -131,6 +132,15 @@ type Options struct {
 	// the cap trips with 429. Zero or negative means unlimited. Keyfile
 	// entries may override per tenant (Key.MaxStreams).
 	MaxStreamsPerTenant int
+	// Fleet, when non-nil, federates this daemon with a static peer ring
+	// (internal/fleet): the peer protocol (GET /fleet/ring, GET
+	// /fleet/segments/{fingerprint}) is served on this listener, and a
+	// submission missing locally consults the ring and adopts a peer's
+	// committed segment — byte-identical replay, no grid re-run — before
+	// falling back to local compute. Fleet traffic bypasses the tenant
+	// keyring and rate limiter; it authenticates with Fleet.Secret instead,
+	// so a noisy tenant cannot starve replication.
+	Fleet *fleet.Options
 	// Logger receives the daemon's structured log stream: one startup
 	// line with the effective configuration, then one line per campaign
 	// lifecycle event (submit, run, finish, commit, replay, drain), each
@@ -169,6 +179,13 @@ type Server struct {
 	limiter      *limiter
 	authFailures atomic.Uint64
 	rateLimited  atomic.Uint64
+
+	// fleet is the peer federation client (nil when not federated);
+	// fleetReplications / fleetServed count segments adopted from peers
+	// and segments streamed to them.
+	fleet             *fleet.Client
+	fleetReplications atomic.Uint64
+	fleetServed       atomic.Uint64
 
 	mu          sync.Mutex
 	byID        map[string]*Campaign
@@ -232,6 +249,17 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	if opts.Fleet != nil {
+		fopts := *opts.Fleet
+		if fopts.Logger == nil {
+			fopts.Logger = logger
+		}
+		fl, err := fleet.New(fopts)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = fl
+	}
 	if opts.StoreDir != "" {
 		bootStart := time.Now()
 		st, err := store.Open(store.Options{
@@ -276,6 +304,14 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /campaigns", s.authed(s.handleList))
 	s.mux.HandleFunc("GET /campaigns/{id}", s.authed(s.handleGet))
 	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.authed(s.handleStream))
+	// The fleet protocol is peer-to-peer traffic: authenticated by the
+	// shared fleet secret, never by the tenant keyring, and exempt from
+	// tenant rate limits — replication must keep working while a noisy
+	// tenant is being throttled.
+	if s.fleet != nil {
+		s.mux.HandleFunc("GET /fleet/ring", s.fleetAuthed(s.handleFleetRing))
+		s.mux.HandleFunc("GET /fleet/segments/{fp}", s.fleetAuthed(s.handleFleetSegment))
+	}
 
 	for i := 0; i < opts.Concurrency; i++ {
 		s.wg.Add(1)
@@ -293,6 +329,8 @@ func New(opts Options) (*Server, error) {
 		"warm_deferred", s.warmDeferred,
 		"auth_enabled", s.AuthEnabled(),
 		"rate_limit", opts.RateLimit,
+		"fleet_peers", fleetPeerCount(opts.Fleet),
+		"peer_id", fleetSelfID(opts.Fleet),
 		"go_version", s.build.GoVersion,
 		"version", s.build.Version,
 	)
@@ -552,6 +590,10 @@ func (s *Server) submitTenant(spec Spec, trace, tenant string) (c *Campaign, cac
 	// what the replay-hit counter reports — later hits on the same
 	// hydrated buffer are ordinary cache hits.
 	fromDisk := false
+	// fleetTried caps the peer consultation at one per submission: a
+	// fetch that failed (or missed) must fall through to a local run, not
+	// loop back to the fleet.
+	fleetTried := false
 	for {
 		s.mu.Lock()
 		if s.draining {
@@ -595,6 +637,18 @@ func (s *Server) submitTenant(spec Spec, trace, tenant string) (c *Campaign, cac
 				"trace_id", prev.traceID, "campaign", prev.id,
 				"fingerprint", fp, "from_disk", fromDisk}, tenant)...)
 			return prev, true, nil
+		}
+		if s.fleet != nil && !fleetTried {
+			// Local miss: before paying for a grid run, ask the fleet —
+			// another peer may hold this characterization already. The
+			// fetch happens outside the registry lock (it is a network
+			// round-trip); on success the adopted campaign satisfies the
+			// hit path on the next pass with zero grids run, and on any
+			// failure the fleet degrades to local compute.
+			fleetTried = true
+			s.mu.Unlock()
+			s.fleetFetch(fp, trace, tenant)
+			continue
 		}
 		break // miss (or failed predecessor): schedule a fresh run
 	}
@@ -965,6 +1019,8 @@ type statsResponse struct {
 	Statuses map[Status]int `json:"statuses"`
 	// Store reports the durable store, when enabled.
 	Store *storeStatsView `json:"store,omitempty"`
+	// Fleet reports the peer federation, when enabled.
+	Fleet *fleetStatsView `json:"fleet,omitempty"`
 }
 
 // storeStatsView is the durable store's slice of GET /stats.
@@ -1034,6 +1090,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	campaigns := append([]*Campaign(nil), s.order...)
 	s.mu.Unlock()
+	if s.fleet != nil {
+		resp.Fleet = &fleetStatsView{
+			Stats:          s.fleet.Stats(),
+			Replications:   s.fleetReplications.Load(),
+			SegmentsServed: s.fleetServed.Load(),
+		}
+	}
 	for _, c := range campaigns {
 		resp.Statuses[c.Status()]++
 	}

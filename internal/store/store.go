@@ -641,6 +641,30 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 	return err
 }
 
+// Adopt commits an externally produced segment — a characterization
+// replicated from a fleet peer — as if this store had written it: the
+// frames stream through an ordinary segment writer in the store's
+// configured format and durability follows the same flush/fsync/rename
+// path as a local commit, so every recovery and quarantine invariant
+// applies unchanged. Each frame carries its canonical JSONL line, which is
+// what makes the adopted segment replay byte-identically to the peer that
+// ran it. meta is the peer's manifest metadata, stored verbatim;
+// validating that it belongs to fp is the caller's job (the serve layer
+// refuses segments whose spec does not fingerprint back to fp).
+func (s *Store) Adopt(fp string, meta json.RawMessage, frames []core.Frame) error {
+	w, err := s.Begin(fp)
+	if err != nil {
+		return err
+	}
+	for _, f := range frames {
+		if err := w.Frame(f); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Commit(meta)
+}
+
 // Abort discards the uncommitted segment.
 func (w *Writer) Abort() error {
 	if w.done {

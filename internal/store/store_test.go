@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 	"repro/internal/xgene"
 )
 
@@ -447,5 +448,59 @@ func TestTouchChurnCompactsManifest(t *testing.T) {
 	entries := s2.Entries()
 	if len(entries) != 2 || entries[0].Fingerprint != "bbbb" || entries[1].Fingerprint != "aaaa" {
 		t.Errorf("compacted manifest lost entries or LRU order: %+v", entries)
+	}
+}
+
+func TestAdoptReplaysByteIdentically(t *testing.T) {
+	// A segment adopted from a peer (frames + verbatim meta) must behave
+	// exactly like a locally committed one: indexed, durable across
+	// reopen, and replaying the peer's canonical bytes — in either
+	// configured format.
+	for _, format := range []wire.Format{wire.FormatJSONL, wire.FormatBinary} {
+		t.Run(string(format), func(t *testing.T) {
+			recs := testRecords("adopted", 5)
+			frames, err := wire.EncodeFrames(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			for _, f := range frames {
+				want.Write(f.Line)
+			}
+			meta := json.RawMessage(`{"label":"adopted","workers":3}`)
+
+			dir := t.TempDir()
+			s, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Adopt("feedface00000001", meta, frames); err != nil {
+				t.Fatal(err)
+			}
+			e, ok := s.Get("feedface00000001")
+			if !ok || e.Records != 5 || string(e.Meta) != string(meta) {
+				t.Fatalf("entry = %+v, ok = %v", e, ok)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			got, err := s2.LoadFrames("feedface00000001")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var replay bytes.Buffer
+			for _, f := range got {
+				replay.Write(f.Line)
+			}
+			if !bytes.Equal(replay.Bytes(), want.Bytes()) {
+				t.Fatal("adopted segment did not replay byte-identically")
+			}
+		})
 	}
 }
