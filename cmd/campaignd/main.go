@@ -8,7 +8,9 @@
 //
 //	campaignd [-addr host:port] [-queue N] [-concurrency N] [-spool file]
 //	          [-cache-max N] [-store-dir dir] [-store-max N] [-warm-load N]
+//	          [-quarantine-max N] [-quarantine-max-bytes N]
 //	          [-segment-format jsonl|binary] [-drain-timeout d]
+//	          [-fault-plan plan]
 //	          [-auth-keys k=tenant,...] [-auth-keyfile file]
 //	          [-rate-limit req/s] [-rate-burst N] [-max-streams N]
 //	          [-peers host:port,... -peer-id host:port [-fleet-secret s]]
@@ -79,6 +81,25 @@
 // on first demand; GET /stats reports the split and the boot time under
 // "store"."boot".
 //
+// A durable daemon is also crash-resumable: accepted submissions are
+// journaled to an intent WAL before they run, interrupted segment writes
+// are salvaged into checkpoints at boot, and the restarted daemon requeues
+// the interrupted campaigns and finishes them from their checkpoints —
+// executing only the grid cells the crash cut short, with the committed
+// segment byte-identical to an uninterrupted run. GET /stats reports the
+// work under "store" (requeued, grids_resumed, runs_saved). Debris
+// recovery refuses to trust lands in <store-dir>/quarantine/, bounded by
+// -quarantine-max (files) and -quarantine-max-bytes. GET /readyz is the
+// readiness probe: 503 while draining or while the store is degraded
+// (rejecting writes; campaigns then continue memory-only and readiness
+// recovers on the next successful commit).
+//
+// -fault-plan (or $CAMPAIGND_FAULT_PLAN) arms the deterministic fault
+// harness (internal/fault) for chaos drills: inject errors, panics or
+// delays at named sites, e.g. 'store.write:panic@3' to kill the daemon on
+// its third segment write. Production daemons leave it empty — disarmed
+// fault points cost one atomic load.
+//
 // With -pprof-addr the daemon exposes net/http/pprof on a SEPARATE
 // listener (off by default), so fleet operators can profile a live daemon
 // — CPU, heap, contention — without exposing the debug surface on the
@@ -119,6 +140,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/loadtest"
 	"repro/internal/serve"
@@ -147,6 +169,8 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	cacheMax := fs.Int("cache-max", 256, "characterization cache bound: finished campaigns retained before LRU eviction")
 	storeDir := fs.String("store-dir", "", "durable store directory: persist finished campaigns and replay them across restarts")
 	storeMax := fs.Int("store-max", 0, "durable store bound (segments, LRU-compacted); 0 = unbounded")
+	quarMax := fs.Int("quarantine-max", 0, "quarantine directory bound (files; oldest deleted past it); 0 = unbounded")
+	quarMaxBytes := fs.Int64("quarantine-max-bytes", 0, "quarantine directory bound (total bytes; oldest deleted past it); 0 = unbounded")
 	warmLoad := fs.Int("warm-load", 0, "manifest entries adopted eagerly at boot; the rest page in on demand (0 = -cache-max)")
 	segFormat := fs.String("segment-format", "", "on-disk segment encoding for new commits: jsonl (default) or binary; existing segments of either format always load")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns to finish and commit")
@@ -166,6 +190,8 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	ltTailers := fs.Int("loadtest-tailers", 2, "loadtest: concurrent stream tailers per campaign")
 	ltOut := fs.String("loadtest-out", "", "loadtest: write the result JSON to this file (default stdout)")
 	ltPeers := fs.String("loadtest-peers", "", "loadtest: comma-separated peer base URLs to spread submitters across (fleet mode; default: this daemon's own listener)")
+	faultPlan := fs.String("fault-plan", os.Getenv("CAMPAIGND_FAULT_PLAN"),
+		"deterministic fault-injection plan for chaos testing, e.g. 'store.write:panic@3;seed=7' (default: $CAMPAIGND_FAULT_PLAN; see internal/fault)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -174,6 +200,9 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 	}
 	if *storeMax != 0 && *storeDir == "" {
 		return errors.New("-store-max needs -store-dir")
+	}
+	if (*quarMax != 0 || *quarMaxBytes != 0) && *storeDir == "" {
+		return errors.New("-quarantine-max/-quarantine-max-bytes need -store-dir")
 	}
 	if *warmLoad != 0 && *storeDir == "" {
 		return errors.New("-warm-load needs -store-dir")
@@ -245,12 +274,27 @@ func run(ctx context.Context, w io.Writer, args []string, ready chan<- string) e
 		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 
+	if *faultPlan != "" {
+		// Armed before the server (and its store recovery) boots, so a
+		// chaos plan can hit boot-time paths too. Deliberately loud: a
+		// daemon that may panic or fail I/O on purpose must say so.
+		plan, err := fault.Parse(*faultPlan)
+		if err != nil {
+			return err
+		}
+		fault.Arm(plan)
+		fmt.Fprintf(w, "campaignd FAULT INJECTION ARMED: %s\n", plan)
+		logger.Warn("fault injection armed", "plan", plan.String())
+	}
+
 	srv, err := serve.New(serve.Options{
 		QueueDepth:          *queue,
 		Concurrency:         *concurrency,
 		CacheMax:            *cacheMax,
 		StoreDir:            *storeDir,
 		StoreMaxSegments:    *storeMax,
+		QuarantineMaxFiles:  *quarMax,
+		QuarantineMaxBytes:  *quarMaxBytes,
 		WarmLoad:            *warmLoad,
 		SegmentFormat:       format,
 		AuthKeys:            keys,

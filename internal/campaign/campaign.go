@@ -80,6 +80,18 @@ type Config struct {
 	// reports the context's error as its Result.Err. Nil means never
 	// cancel.
 	Context context.Context
+	// Resume, if set, holds records recovered from an interrupted run of
+	// this same campaign, in campaign order. Leading shards whose declared
+	// Shard.Expected record counts are fully covered by the prefix are
+	// restored from these records instead of executing — their Results
+	// carry the records with Stats.Restored bookkeeping and nothing is
+	// emitted to Sink for them (the caller already has those bytes; it
+	// replayed them from its checkpoint). The records must align with
+	// shard boundaries: Run rejects a Resume slice that ends mid-shard,
+	// because splicing half a shard would break the determinism contract.
+	// Only exhaustive campaigns can resume (adaptive schedulers cannot
+	// declare Expected).
+	Resume []core.RunRecord
 }
 
 // Validate reports configuration errors. A zero Seed is rejected because
@@ -217,6 +229,12 @@ type Shard[T any] struct {
 	// them through Ctx.FleetBoard; their records concatenate into the
 	// shard's Result in board order.
 	Boards int
+	// Expected, when positive, declares exactly how many records this
+	// shard emits on a clean run. Deterministic exhaustive shards (grid
+	// cells) know this up front; declaring it is what lets Config.Resume
+	// map recovered records back onto shard boundaries. Zero means
+	// unknown, which excludes the shard from resume.
+	Expected int
 	// Run executes the shard.
 	Run func(ctx *Ctx) (T, error)
 }
@@ -250,6 +268,11 @@ type Stats struct {
 	// refinement's partial-failure levels can cost more than the plain
 	// descent, and the accounting reports that honestly.
 	Planned int
+	// Restored counts records carried over from an interrupted run via
+	// Config.Resume instead of being executed. Restored records never
+	// count as Runs and contribute nothing to Outcomes (their outcomes
+	// were accounted by the original, interrupted campaign).
+	Restored int
 	// Recoveries counts runs that required watchdog reset / reboot.
 	Recoveries int
 	// SimTime is the total simulated board time consumed.
@@ -267,6 +290,7 @@ func (s *Stats) add(s2 Stats) {
 	s.Shards += s2.Shards
 	s.Runs += s2.Runs
 	s.Planned += s2.Planned
+	s.Restored += s2.Restored
 	s.Recoveries += s2.Recoveries
 	s.SimTime += s2.SimTime
 	for o, n := range s2.Outcomes {
@@ -534,6 +558,34 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 	}
 
 	results := make([]Result[T], len(shards))
+	// Restore leading shards fully covered by the resume prefix: their
+	// records are spliced in as-is, no board is fabricated, no run
+	// executes, nothing streams (the caller already replayed these bytes
+	// from its checkpoint). The prefix must land exactly on a shard
+	// boundary — a partial shard cannot be spliced without breaking the
+	// determinism contract, so the caller trims to boundaries first.
+	restored := make([]bool, len(shards))
+	if len(cfg.Resume) > 0 {
+		off := 0
+		for i := 0; i < len(shards) && off < len(cfg.Resume); i++ {
+			exp := shards[i].Expected
+			if exp <= 0 || off+exp > len(cfg.Resume) {
+				break
+			}
+			chunk := cfg.Resume[off : off+exp : off+exp]
+			results[i] = Result[T]{
+				Name:    shards[i].Name,
+				Index:   i,
+				Records: chunk,
+				Stats:   Stats{Shards: 1, Restored: len(chunk), Planned: len(chunk)},
+			}
+			restored[i] = true
+			off += exp
+		}
+		if off != len(cfg.Resume) {
+			return nil, fmt.Errorf("campaign: %d resume records do not align with shard boundaries (%d consumed)", len(cfg.Resume), off)
+		}
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	// Workers share one board pool; a checked-out board belongs to exactly
@@ -549,10 +601,22 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 			}
 		}()
 	}
+	// Restored shards are marked complete in the stream up front (they
+	// emit nothing); the flush cursor then releases executing shards'
+	// records as usual.
+	for i, r := range restored {
+		if r {
+			stream.complete(i, nil)
+		}
+	}
 	// skipFrom marks every shard from i on as skipped. Only the dispatcher
-	// writes these slots — no worker ever received their indices.
+	// writes these slots — no worker ever received their indices, and
+	// restored slots already hold their spliced results.
 	skipFrom := func(i int) {
 		for j := i; j < len(shards); j++ {
+			if restored[j] {
+				continue
+			}
 			results[j] = Result[T]{
 				Name:  shards[j].Name,
 				Index: j,
@@ -562,6 +626,9 @@ func Run[T any](cfg Config, shards []Shard[T]) (*Report[T], error) {
 	}
 dispatch:
 	for i := range shards {
+		if restored[i] {
+			continue
+		}
 		// Check cancellation before the blocking send: when a worker is
 		// already parked on the jobs channel both select cases below are
 		// ready and Go picks randomly — without this check a cancelled

@@ -93,6 +93,10 @@ func RunGrid(cfg Config, g Grid) (*GridReport, error) {
 				Name:   fmt.Sprintf("%s/b%d/%s/s%d", g.Name, bi, bench.Name, si),
 				Board:  g.Board,
 				Boards: boards,
+				// Every cell emits exactly fleet-size x repetitions
+				// records, which is what lets an interrupted grid resume
+				// from a checkpoint trimmed to cell boundaries.
+				Expected: boards * g.Repetitions,
 				Run: func(ctx *Ctx) ([]core.RunRecord, error) {
 					out := make([]core.RunRecord, 0, boards*g.Repetitions)
 					for b := 0; b < boards; b++ {
@@ -129,6 +133,12 @@ func RunGrid(cfg Config, g Grid) (*GridReport, error) {
 	// is still returned, so partial records and bookkeeping survive.
 	out := &GridReport{Stats: rep.Stats, Workers: rep.Workers}
 	for _, cell := range rep.Results {
+		if cell.Stats.Restored > 0 {
+			// A restored cell never executed its Run closure, so its
+			// records live on the Result, not the Value.
+			out.Records = append(out.Records, cell.Records...)
+			continue
+		}
 		out.Records = append(out.Records, cell.Value...)
 	}
 	return out, err

@@ -15,8 +15,15 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/wire"
 )
+
+func init() {
+	// The replication fault point: chaos plans can delay or fail the
+	// segment body transfer to exercise shutdown-mid-adopt paths.
+	fault.Register("fleet.fetch.body")
+}
 
 // ErrNotFound reports that every reachable peer answered and none has the
 // fingerprint: the caller should characterize locally. It is the fetch
@@ -412,6 +419,11 @@ func (c *Client) fetchFrom(ctx context.Context, p Peer, fp string) (seg *Segment
 	want, err := strconv.Atoi(resp.Header.Get(HeaderRecords))
 	if err != nil || want <= 0 {
 		return fail(false, fmt.Errorf("bad %s header %q", HeaderRecords, resp.Header.Get(HeaderRecords)))
+	}
+	if err := fault.Inject("fleet.fetch.body"); err != nil {
+		// The fault point sits where the replica body transfer happens, so
+		// chaos plans can stall or sever an adoption mid-flight.
+		return fail(true, fmt.Errorf("segment body: %w", err))
 	}
 	frames, err := wire.ReadSegment(resp.Body)
 	if err != nil {

@@ -137,6 +137,22 @@ func (c *Campaign) markLost(err error) {
 	c.cond.Broadcast()
 }
 
+// preload seeds the buffer with frames restored from a crash checkpoint,
+// before the engine runs the remaining cells. Subscribers (and the spool)
+// see the exact pre-rendered bytes the interrupted process streamed,
+// followed seamlessly by the live remainder — the restored prefix must NOT
+// pass through the engine sink again, which is why campaign.Config.Resume
+// suppresses emission for restored cells.
+func (c *Campaign) preload(frames []core.Frame) {
+	c.mu.Lock()
+	c.frames = append(c.frames, frames...)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, f := range frames {
+		c.extra.Frame(f)
+	}
+}
+
 // Frame implements core.FrameSink: this is the campaign engine's streaming
 // hook. The engine's ordering buffer guarantees frames arrive in
 // deterministic grid order, so appending preserves byte-identity with the

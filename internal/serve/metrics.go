@@ -40,6 +40,14 @@ var (
 		"1 while the server is draining for shutdown (new submissions get 503).")
 	mStoreErrors = obs.NewCounter("campaignd_store_errors_total",
 		"Persistence failures (the affected campaigns themselves completed).")
+	mStoreDegraded = obs.NewGauge("serve_store_degraded",
+		"1 while the durable store is rejecting writes and campaigns run memory-only; clears on the next successful commit.")
+	mGridsResumed = obs.NewCounter("campaignd_grids_resumed_total",
+		"Interrupted campaigns resumed from a crash checkpoint instead of restarting from scratch.")
+	mRunsSaved = obs.NewCounter("campaignd_runs_saved_total",
+		"Characterization runs restored from crash checkpoints — work a restart did not repeat.")
+	mRequeued = obs.NewCounter("campaignd_requeued_total",
+		"Campaigns re-admitted at boot from the intent journal (accepted before a crash, never finished).")
 
 	// Front-door metrics (auth + rate limiting; see auth.go / limit.go).
 	// The auth-failure reasons are a closed set, so a frozen CounterVec

@@ -54,11 +54,18 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
+
+func init() {
+	// Queue admission is the serve layer's fault point: an injected error
+	// here surfaces as backpressure (503), exactly like a full queue.
+	fault.Register("serve.queue")
+}
 
 // Options parameterizes a Server.
 type Options struct {
@@ -91,6 +98,12 @@ type Options struct {
 	// unbounded.
 	StoreMaxSegments int
 	StoreMaxBytes    int64
+	// QuarantineMaxFiles / QuarantineMaxBytes bound the store's
+	// quarantine/ directory, where recovery parks debris it refuses to
+	// trust; past a bound the oldest quarantined files are deleted. Zero
+	// means unbounded (keep everything for forensics).
+	QuarantineMaxFiles int
+	QuarantineMaxBytes int64
 	// SegmentFormat selects the on-disk encoding of newly committed
 	// segments: wire.FormatJSONL (default, human-greppable, byte-identical
 	// to the stream) or wire.FormatBinary (compact, CRC-protected). Old
@@ -157,9 +170,17 @@ type Server struct {
 	mux    *http.ServeMux
 	spool  *core.MultiSink
 	store  *store.Store
+	wal    *intentWAL
 	logger *slog.Logger
 	start  time.Time
 	build  buildInfo
+
+	// adopting counts in-flight fleet segment adoptions; Drain waits for
+	// it to reach zero so a SIGTERM mid-adopt cannot strand a half-fetched
+	// segment. storeDegraded flips while the durable store is rejecting
+	// writes and campaigns continue memory-only (see storeTee).
+	adopting      atomic.Int64
+	storeDegraded atomic.Bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -200,6 +221,12 @@ type Server struct {
 	replayHits  int
 	storeErrors int
 	draining    bool
+	// Crash-resume bookkeeping: campaigns re-admitted from the intent
+	// journal at boot, grids resumed from a checkpoint, and the runs those
+	// checkpoints saved from re-execution.
+	requeued     int
+	gridsResumed int
+	runsSaved    int
 	// Boot-time warm-load bookkeeping (see Options.WarmLoad).
 	warmLoaded   int
 	warmDeferred int
@@ -260,18 +287,28 @@ func New(opts Options) (*Server, error) {
 		}
 		s.fleet = fl
 	}
+	var pendingIntents []intentOp
 	if opts.StoreDir != "" {
 		bootStart := time.Now()
 		st, err := store.Open(store.Options{
-			Dir:         opts.StoreDir,
-			MaxSegments: opts.StoreMaxSegments,
-			MaxBytes:    opts.StoreMaxBytes,
-			Format:      opts.SegmentFormat,
+			Dir:                opts.StoreDir,
+			MaxSegments:        opts.StoreMaxSegments,
+			MaxBytes:           opts.StoreMaxBytes,
+			Format:             opts.SegmentFormat,
+			QuarantineMaxFiles: opts.QuarantineMaxFiles,
+			QuarantineMaxBytes: opts.QuarantineMaxBytes,
 		})
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
+		wal, pending, err := openIntentWAL(opts.StoreDir)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.wal = wal
+		pendingIntents = pending
 		// Entries arrive least-recently-used first; adopting the most
 		// recent WarmLoad of them preserves relative LRU order, and the
 		// skipped prefix is exactly the part eviction would drop first.
@@ -295,6 +332,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
@@ -316,6 +354,13 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.Concurrency; i++ {
 		s.wg.Add(1)
 		go s.scheduler()
+	}
+	if len(pendingIntents) > 0 {
+		// Requeue on a goroutine: the pending set can exceed QueueDepth,
+		// and the schedulers just started are what drain the queue — a
+		// blocking send from New itself would deadlock the boot.
+		s.wg.Add(1)
+		go s.requeueIntents(pendingIntents)
 	}
 	// One structured startup line with the effective configuration: the
 	// first thing an operator greps for when a fleet member misbehaves.
@@ -359,6 +404,10 @@ func (s *Server) Close() {
 	if s.store != nil {
 		s.store.Close()
 	}
+	s.wal.close()
+	if s.storeDegraded.Swap(false) {
+		mStoreDegraded.Set(0)
+	}
 	// The draining gauge tracks live servers; a closed one is not draining.
 	s.mu.Lock()
 	if s.draining {
@@ -386,7 +435,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	for {
 		// Every queued campaign is registered, so the registry alone
-		// knows what is still live.
+		// knows what is still live. In-flight fleet adoptions count too:
+		// a drain that returned while a peer segment was still being
+		// fetched could strand a half-adopted characterization.
 		s.mu.Lock()
 		live := 0
 		for _, c := range s.order {
@@ -395,7 +446,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			}
 		}
 		s.mu.Unlock()
-		if live == 0 {
+		if live == 0 && s.adopting.Load() == 0 {
 			return nil
 		}
 		select {
@@ -442,15 +493,48 @@ func (s *Server) execute(c *Campaign) {
 	}
 	var sink core.Sink = c
 	var tee *storeTee
+	var resume []core.RunRecord
 	if s.store != nil {
-		if w, err := s.store.Begin(c.fingerprint); err == nil {
-			tee = &storeTee{live: c, w: w}
+		ck := s.checkpointFrames(c)
+		var w *store.Writer
+		var werr error
+		if len(ck) > 0 {
+			// Replay the checkpointed prefix into a fresh segment writer;
+			// if the replay fails, fall back to a clean from-scratch run.
+			if w, werr = s.store.Resume(c.fingerprint, ck); werr != nil {
+				ck = nil
+			}
+		}
+		if w == nil {
+			w, werr = s.store.Begin(c.fingerprint)
+		}
+		if werr == nil {
+			tee = &storeTee{s: s, c: c, live: c, w: w}
 			sink = tee
 		} else {
 			s.noteStoreError()
+			ck = nil
+		}
+		if len(ck) > 0 {
+			// The restored prefix re-enters the live buffer (and spool) as
+			// the exact pre-rendered bytes the interrupted process streamed;
+			// the engine then executes only the remaining cells, and the
+			// committed segment comes out byte-identical to an uninterrupted
+			// run.
+			c.preload(ck)
+			resume = recordsOfFrames(ck)
+			s.mu.Lock()
+			s.gridsResumed++
+			s.runsSaved += len(ck)
+			s.mu.Unlock()
+			mGridsResumed.Inc()
+			mRunsSaved.Add(uint64(len(ck)))
+			s.logger.Info("campaign resumed from checkpoint", withTenant([]any{
+				"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint,
+				"runs_saved", len(ck)}, c.tenant)...)
 		}
 	}
-	stats, workers, err := s.runEngine(c, sink)
+	stats, workers, err := s.runEngine(c, sink, resume)
 	if tee != nil {
 		// Persist before the campaign turns terminal, so "stream ended" /
 		// "drain returned" imply "segment durable". Only complete,
@@ -471,12 +555,17 @@ func (s *Server) execute(c *Campaign) {
 			} else if cerr := tee.w.Commit(meta); cerr != nil {
 				s.noteStoreError()
 			} else {
+				s.clearStoreDegraded(c)
 				s.logger.Info("campaign committed",
 					"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint)
 			}
 		}
 	}
 	c.finish(stats, workers, err)
+	// The intent is terminal either way: done campaigns have their segment
+	// (or at worst their buffer), failed ones re-run on resubmission — a
+	// requeue at next boot would add nothing.
+	s.wal.end(c.fingerprint)
 	status := "done"
 	if err != nil {
 		status = "failed"
@@ -495,14 +584,61 @@ func errString(err error) string {
 	return err.Error()
 }
 
+// checkpointFrames returns the resumable prefix of a crash checkpoint for
+// this campaign, or nil. Only exhaustive grids resume — an adaptive
+// schedule's shard list depends on earlier results, so its checkpoint
+// cannot be mapped back onto cells. The prefix is trimmed to whole cells
+// (the engine's resume unit) and capped at the grid's total; a torn tail
+// inside a cell re-runs rather than splices.
+func (s *Server) checkpointFrames(c *Campaign) []core.Frame {
+	if s.store == nil || c.spec.Strategy == StrategyAdaptive {
+		return nil
+	}
+	ck := s.store.Checkpoint(c.fingerprint)
+	if len(ck) == 0 {
+		return nil
+	}
+	grid, err := c.spec.Grid()
+	if err != nil {
+		return nil
+	}
+	boards := grid.Boards
+	if boards < 1 {
+		boards = 1
+	}
+	perCell := boards * grid.Repetitions
+	total := len(grid.Benches) * len(grid.Setups) * perCell
+	usable := len(ck)
+	if usable > total {
+		usable = total
+	}
+	usable = usable / perCell * perCell
+	if usable == 0 {
+		return nil
+	}
+	return ck[:usable]
+}
+
+// recordsOfFrames projects checkpoint frames onto the decoded records the
+// engine's resume path consumes.
+func recordsOfFrames(frames []core.Frame) []core.RunRecord {
+	out := make([]core.RunRecord, len(frames))
+	for i, f := range frames {
+		out[i] = f.Rec
+	}
+	return out
+}
+
 // runEngine dispatches to the spec's scheduler and normalizes the
-// (stats, workers, error) triple.
-func (s *Server) runEngine(c *Campaign, sink core.Sink) (campaign.Stats, int, error) {
+// (stats, workers, error) triple. resume, when non-empty, is the
+// checkpoint-restored record prefix (exhaustive grids only).
+func (s *Server) runEngine(c *Campaign, sink core.Sink, resume []core.RunRecord) (campaign.Stats, int, error) {
 	cfg := campaign.Config{
 		Workers: c.spec.Workers,
 		Seed:    c.spec.Seed,
 		Sink:    sink,
 		Context: s.ctx,
+		Resume:  resume,
 	}
 	// Submit stores the defaulted spec, so Strategy is already resolved.
 	if c.spec.Strategy == StrategyAdaptive {
@@ -541,6 +677,28 @@ func (s *Server) noteStoreError() {
 	s.storeErrors++
 	s.mu.Unlock()
 	mStoreErrors.Inc()
+}
+
+// setStoreDegraded marks the durable store unhealthy: writes are failing
+// (disk full, I/O errors) and campaigns continue memory-only. One log line
+// per transition, not per record.
+func (s *Server) setStoreDegraded(c *Campaign, err error) {
+	if !s.storeDegraded.Swap(true) {
+		mStoreDegraded.Set(1)
+		s.logger.Error("store degraded, campaigns continue memory-only", withTenant([]any{
+			"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint,
+			"err", errString(err)}, c.tenant)...)
+	}
+}
+
+// clearStoreDegraded flips the degraded flag back on the first successful
+// commit: the disk is accepting whole segments again.
+func (s *Server) clearStoreDegraded(c *Campaign) {
+	if s.storeDegraded.Swap(false) {
+		mStoreDegraded.Set(0)
+		s.logger.Info("store recovered, durability restored",
+			"trace_id", c.traceID, "campaign", c.id, "fingerprint", c.fingerprint)
+	}
 }
 
 // errQueueFull distinguishes backpressure from bad submissions.
@@ -647,7 +805,12 @@ func (s *Server) submitTenant(spec Spec, trace, tenant string) (c *Campaign, cac
 			// failure the fleet degrades to local compute.
 			fleetTried = true
 			s.mu.Unlock()
+			// The adopting gauge makes the fetch visible to Drain: a
+			// graceful shutdown waits for in-flight adoptions to land (or
+			// fail) instead of abandoning a half-replicated segment.
+			s.adopting.Add(1)
 			s.fleetFetch(fp, trace, tenant)
+			s.adopting.Add(-1)
 			continue
 		}
 		break // miss (or failed predecessor): schedule a fresh run
@@ -660,12 +823,22 @@ func (s *Server) submitTenant(spec Spec, trace, tenant string) (c *Campaign, cac
 	// Enqueue and register under one critical section: a rejected
 	// submission leaves no trace, and a registered campaign is always
 	// queued. The send is non-blocking, so holding the lock is safe.
+	if ferr := fault.Inject("serve.queue"); ferr != nil {
+		s.mu.Unlock()
+		mSubmissions.With("rejected").Inc()
+		return nil, false, fmt.Errorf("%w: %v", errQueueFull, ferr)
+	}
 	select {
 	case s.queue <- c:
 	default:
 		s.mu.Unlock()
 		mSubmissions.With("rejected").Inc()
 		return nil, false, errQueueFull
+	}
+	if werr := s.wal.begin(intentOp{Fingerprint: fp, Spec: &c.spec, TraceID: trace, Tenant: tenant}); werr != nil {
+		// Journal trouble must not reject measurable work; the campaign
+		// just loses crash-requeue coverage.
+		s.logger.Warn("intent journal write failed", "fingerprint", fp, "err", werr)
 	}
 	s.evictLocked()
 	s.nextID++
@@ -988,6 +1161,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleReadyz is the readiness probe: 200 while the daemon is accepting
+// submissions and durably persisting them, 503 while draining (shutdown
+// imminent — find another daemon) or while the store is degraded
+// (campaigns running memory-only). Liveness stays /healthz; orchestrators,
+// load balancers and the CI smoke tests gate traffic here.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.storeDegraded.Load():
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "store degraded", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	Submissions int  `json:"submissions"`
@@ -1037,6 +1231,22 @@ type storeStatsView struct {
 	Quarantined int `json:"quarantined"`
 	Compactions int `json:"compactions"`
 	Errors      int `json:"errors,omitempty"`
+	// Crash-resume accounting. Checkpoints counts crash checkpoints
+	// currently held (salvaged from interrupted segment writes); Requeued
+	// counts campaigns re-admitted at boot from the intent journal;
+	// GridsResumed counts campaigns that continued from a checkpoint; and
+	// RunsSaved is the characterization runs those checkpoints restored —
+	// measured work a restart did not repeat.
+	Checkpoints  int `json:"checkpoints,omitempty"`
+	Requeued     int `json:"requeued,omitempty"`
+	GridsResumed int `json:"grids_resumed,omitempty"`
+	RunsSaved    int `json:"runs_saved,omitempty"`
+	// QuarantineFiles/QuarantineBytes size the quarantine/ directory
+	// (bounded by Options.QuarantineMax*). Degraded is true while the
+	// store is rejecting writes and campaigns run memory-only.
+	QuarantineFiles int   `json:"quarantine_files,omitempty"`
+	QuarantineBytes int64 `json:"quarantine_bytes,omitempty"`
+	Degraded        bool  `json:"degraded,omitempty"`
 	// Boot describes the last boot's warm-load: how many manifest entries
 	// were adopted eagerly, how many were deferred to on-demand paging
 	// (Options.WarmLoad), and how long store recovery plus warm-load took.
@@ -1075,12 +1285,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &storeStatsView{
-			Segments:    st.Segments,
-			Bytes:       st.Bytes,
-			ReplayHits:  s.replayHits,
-			Quarantined: st.Quarantined,
-			Compactions: st.Compactions,
-			Errors:      s.storeErrors,
+			Segments:        st.Segments,
+			Bytes:           st.Bytes,
+			ReplayHits:      s.replayHits,
+			Quarantined:     st.Quarantined,
+			Compactions:     st.Compactions,
+			Errors:          s.storeErrors,
+			Checkpoints:     st.Checkpoints,
+			Requeued:        s.requeued,
+			GridsResumed:    s.gridsResumed,
+			RunsSaved:       s.runsSaved,
+			QuarantineFiles: st.QuarantineFiles,
+			QuarantineBytes: st.QuarantineBytes,
+			Degraded:        s.storeDegraded.Load(),
 			Boot: bootStatsView{
 				WarmLoaded: s.warmLoaded,
 				Deferred:   s.warmDeferred,

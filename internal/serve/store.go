@@ -144,20 +144,49 @@ func (s *Server) hydrate(c *Campaign) error {
 // store's segment writer. A writer failure is remembered, not propagated:
 // losing durability must never abort the characterization that is being
 // measured — execute() checks err before committing and aborts the
-// segment instead.
+// segment instead. A failing write retries briefly (transient conditions
+// like a momentary ENOSPC clear under backoff); once retries are
+// exhausted the server degrades to memory-only streaming for the rest of
+// the campaign and /readyz turns unready until a later commit succeeds.
 type storeTee struct {
+	s    *Server
+	c    *Campaign
 	live core.Sink
 	w    *store.Writer
 	err  error
+}
+
+// teeRetries/teeBackoff bound the persist retry: enough to ride out a
+// blip, short enough that a genuinely full disk costs milliseconds, not
+// a stalled characterization.
+const teeRetries = 2
+const teeBackoff = 2 * time.Millisecond
+
+// persist runs one segment write with bounded retry; after the final
+// failure the tee latches the error and flips the server degraded.
+func (t *storeTee) persist(write func() error) {
+	if t.err != nil {
+		return
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = write(); err == nil {
+			return
+		}
+		if attempt >= teeRetries {
+			break
+		}
+		time.Sleep(teeBackoff << attempt)
+	}
+	t.err = err
+	t.s.setStoreDegraded(t.c, err)
 }
 
 func (t *storeTee) Record(rec core.RunRecord) error {
 	if err := t.live.Record(rec); err != nil {
 		return err
 	}
-	if t.err == nil {
-		t.err = t.w.Record(rec)
-	}
+	t.persist(func() error { return t.w.Record(rec) })
 	return nil
 }
 
@@ -167,9 +196,7 @@ func (t *storeTee) Frame(f core.Frame) error {
 	if err := core.EmitFrame(t.live, f); err != nil {
 		return err
 	}
-	if t.err == nil {
-		t.err = t.w.Frame(f)
-	}
+	t.persist(func() error { return t.w.Frame(f) })
 	return nil
 }
 

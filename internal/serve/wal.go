@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// intentName is the submission intent journal, kept in the store
+// directory. Its .tmp rewrite file deliberately lacks the "seg-" prefix,
+// so the store's crash sweep never touches it.
+const intentName = "INTENT.jsonl"
+
+// intentOp is one line of the intent WAL: "begin" journals an accepted
+// submission (spec, trace, tenant) before it can execute; "end" marks it
+// terminal — done, failed, or rejected after the begin landed. A begin
+// without an end after a crash is an interrupted campaign the next boot
+// must requeue.
+type intentOp struct {
+	Op          string `json:"op"`
+	Fingerprint string `json:"fp"`
+	Spec        *Spec  `json:"spec,omitempty"`
+	TraceID     string `json:"trace_id,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+}
+
+// intentWAL is the serve layer's write-ahead intent journal. Begins are
+// fsync'd — an accepted submission must survive a crash, that is the
+// entire point — ends are appended without fsync (losing one costs a
+// requeue that immediately re-terminates, never a lost campaign). The
+// journal is compacted to pure pending begins at open and in-process
+// once end churn outgrows the pending set.
+type intentWAL struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	ops     int
+	pending map[string]intentOp
+	order   []string
+	closed  bool
+}
+
+// openIntentWAL replays (with prefix salvage, like the store manifest)
+// and compacts the intent journal, returning the WAL and the pending
+// begins in submission order.
+func openIntentWAL(dir string) (*intentWAL, []intentOp, error) {
+	w := &intentWAL{
+		path:    filepath.Join(dir, intentName),
+		pending: make(map[string]intentOp),
+	}
+	dirty := false
+	data, err := os.ReadFile(w.path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return nil, nil, fmt.Errorf("serve: read intent wal: %w", err)
+	default:
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var op intentOp
+			if uerr := json.Unmarshal([]byte(line), &op); uerr != nil {
+				// Torn tail (or worse): trust the intact prefix only.
+				dirty = true
+				break
+			}
+			w.ops++
+			switch op.Op {
+			case "begin":
+				if _, ok := w.pending[op.Fingerprint]; !ok {
+					w.order = append(w.order, op.Fingerprint)
+				}
+				w.pending[op.Fingerprint] = op
+			case "end":
+				if _, ok := w.pending[op.Fingerprint]; ok {
+					delete(w.pending, op.Fingerprint)
+					for i, fp := range w.order {
+						if fp == op.Fingerprint {
+							w.order = append(w.order[:i], w.order[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			dirty = true
+		}
+	}
+	if dirty || w.bloatedLocked() {
+		if err := w.rewriteLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if w.f == nil {
+		f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: open intent wal: %w", err)
+		}
+		w.f = f
+	}
+	out := make([]intentOp, 0, len(w.order))
+	for _, fp := range w.order {
+		out = append(out, w.pending[fp])
+	}
+	return w, out, nil
+}
+
+// bloatedLocked reports whether end churn warrants a compaction.
+func (w *intentWAL) bloatedLocked() bool {
+	return w.ops > 4*len(w.pending)+64
+}
+
+// rewriteLocked atomically replaces the journal with the pending begins.
+func (w *intentWAL) rewriteLocked() error {
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: rewrite intent wal: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, fp := range w.order {
+		if err := enc.Encode(w.pending[fp]); err != nil {
+			f.Close()
+			return fmt.Errorf("serve: rewrite intent wal: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: rewrite intent wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: sync intent wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: close intent wal: %w", err)
+	}
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("serve: install intent wal: %w", err)
+	}
+	w.ops = len(w.pending)
+	g, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: reopen intent wal: %w", err)
+	}
+	w.f = g
+	return nil
+}
+
+// appendLocked journals one op, optionally fsync'd.
+func (w *intentWAL) appendLocked(op intentOp, sync bool) error {
+	if w.closed || w.f == nil {
+		return errors.New("serve: intent wal closed")
+	}
+	data, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("serve: encode intent: %w", err)
+	}
+	if _, err := w.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("serve: append intent: %w", err)
+	}
+	w.ops++
+	if !sync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("serve: sync intent: %w", err)
+	}
+	return nil
+}
+
+// begin durably journals an accepted submission.
+func (w *intentWAL) begin(op intentOp) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	op.Op = "begin"
+	if _, ok := w.pending[op.Fingerprint]; !ok {
+		w.order = append(w.order, op.Fingerprint)
+	}
+	w.pending[op.Fingerprint] = op
+	return w.appendLocked(op, true)
+}
+
+// end marks a fingerprint's intent terminal. Unsynced: a crash that
+// loses an end line merely requeues a campaign whose committed segment
+// (or failed status) terminates it again immediately. End is also where
+// the journal compacts in-process, since ends are the unbounded traffic.
+func (w *intentWAL) end(fp string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.pending[fp]; ok {
+		delete(w.pending, fp)
+		for i, p := range w.order {
+			if p == fp {
+				w.order = append(w.order[:i], w.order[i+1:]...)
+				break
+			}
+		}
+	}
+	_ = w.appendLocked(intentOp{Op: "end", Fingerprint: fp}, false)
+	if w.bloatedLocked() {
+		// Best effort, like the store manifest's in-process compaction.
+		_ = w.rewriteLocked()
+	}
+}
+
+// requeueIntents re-admits the campaigns a previous process accepted but
+// never finished: every pending begin becomes a queued campaign with its
+// original spec, trace ID and tenant, exactly as if the submitter had
+// resubmitted the instant the daemon came back. Runs as a goroutine
+// because the pending set may exceed the queue depth — the schedulers
+// started alongside it drain what this loop feeds.
+func (s *Server) requeueIntents(pending []intentOp) {
+	defer s.wg.Done()
+	for _, op := range pending {
+		if s.ctx.Err() != nil {
+			return
+		}
+		if op.Spec == nil {
+			s.wal.end(op.Fingerprint)
+			continue
+		}
+		spec := op.Spec.withDefaults()
+		err := spec.Validate()
+		if err != nil || spec.Fingerprint() != op.Fingerprint {
+			// A journal line that no longer validates (or no longer
+			// fingerprints to its key) cannot be trusted to re-run.
+			s.logger.Warn("dropping unreplayable intent",
+				"fingerprint", op.Fingerprint, "err", errString(err))
+			s.wal.end(op.Fingerprint)
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.store.Get(op.Fingerprint); ok {
+			// The campaign committed after its begin landed but before its
+			// end did; the manifest already answers this fingerprint.
+			s.mu.Unlock()
+			s.wal.end(op.Fingerprint)
+			continue
+		}
+		if prev := s.byFP[op.Fingerprint]; prev != nil && prev.Status() != StatusFailed {
+			s.mu.Unlock()
+			s.wal.end(op.Fingerprint)
+			continue
+		}
+		c := newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, op.Fingerprint, s.spool)
+		c.traceID = op.TraceID
+		if !obs.ValidTraceID(c.traceID) {
+			c.traceID = obs.NewTraceID()
+		}
+		c.tenant = op.Tenant
+		c.queuedAt = time.Now()
+		s.evictLocked()
+		s.nextID++
+		s.byID[c.id] = c
+		s.byFP[op.Fingerprint] = c
+		s.order = append(s.order, c)
+		s.touchLocked(c)
+		s.requeued++
+		s.mu.Unlock()
+		mRequeued.Inc()
+		mQueueLen.Inc()
+		s.logger.Info("campaign requeued from intent journal", withTenant([]any{
+			"trace_id", c.traceID, "campaign", c.id, "fingerprint", op.Fingerprint}, c.tenant)...)
+		select {
+		case s.queue <- c:
+		case <-s.ctx.Done():
+			mQueueLen.Dec()
+			return
+		}
+	}
+}
+
+// close releases the journal handle.
+func (w *intentWAL) close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.f != nil {
+		w.f.Sync()
+		w.f.Close()
+		w.f = nil
+	}
+}

@@ -21,6 +21,10 @@ var (
 		"Segments recovery or load verification refused to trust.")
 	obsCompactions = obs.NewCounter("store_compactions_total",
 		"Segments evicted by the store's size or count bounds.")
+	obsQuarantineBytes = obs.NewGauge("store_quarantine_bytes",
+		"Bytes currently held in the quarantine directory.")
+	obsCheckpoints = obs.NewCounter("store_checkpoints_total",
+		"Crash checkpoints salvaged from uncommitted segments at boot.")
 )
 
 // updateObsLocked refreshes the composition gauges after anything that

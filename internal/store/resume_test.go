@@ -1,0 +1,402 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/wire"
+)
+
+// crashWriter writes n valid records into an uncommitted segment and
+// abandons it flushed — the on-disk state a process crash leaves behind.
+func crashWriter(t *testing.T, s *Store, fp, label string, n int) {
+	t.Helper()
+	w, err := s.Begin(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords(label, n) {
+		if err := w.Record(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Commit, no Abort: the .tmp stays behind, flushed record by
+	// record thanks to CheckpointEvery's default.
+}
+
+// TestTmpSalvagedIntoCheckpoint: boot recovery turns a crashed campaign's
+// .tmp into a resumable checkpoint instead of quarantining it.
+func TestTmpSalvagedIntoCheckpoint(t *testing.T) {
+	for _, format := range []wire.Format{wire.FormatJSONL, wire.FormatBinary} {
+		t.Run(string(format), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashWriter(t, s, "deadbeef", "mcf", 3)
+			s.Close()
+
+			s2, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			st := s2.Stats()
+			if st.Quarantined != 0 || st.Checkpoints != 1 {
+				t.Fatalf("stats = %+v, want 0 quarantined, 1 checkpoint", st)
+			}
+			frames := s2.Checkpoint("deadbeef")
+			if len(frames) != 3 {
+				t.Fatalf("checkpoint holds %d frames, want 3", len(frames))
+			}
+			want := testRecords("mcf", 3)
+			for i, f := range frames {
+				if f.Rec.Benchmark != want[i].Benchmark || f.Rec.Repetition != want[i].Repetition {
+					t.Errorf("frame %d = %+v", i, f.Rec)
+				}
+				if len(f.Line) == 0 || f.Line[len(f.Line)-1] != '\n' {
+					t.Errorf("frame %d line not canonical JSONL: %q", i, f.Line)
+				}
+			}
+			// The .tmp itself is gone.
+			if _, err := os.Stat(filepath.Join(dir, segNameOf("deadbeef", format)+tmpSuffix)); !os.IsNotExist(err) {
+				t.Error(".tmp survived salvage")
+			}
+		})
+	}
+}
+
+// TestTornTmpSalvagesPrefix: only the intact record prefix of a torn .tmp
+// survives into the checkpoint.
+func TestTornTmpSalvagesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashWriter(t, s, "deadbeef", "mcf", 3)
+	s.Close()
+	// Tear the last record mid-line.
+	path := filepath.Join(dir, segName("deadbeef")+tmpSuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if frames := s2.Checkpoint("deadbeef"); len(frames) != 2 {
+		t.Fatalf("checkpoint holds %d frames, want the 2 intact ones", len(frames))
+	}
+}
+
+// TestResumeCommitsIdenticalSegment: checkpoint + Resume + remaining
+// records commits a segment byte-identical to an uninterrupted run.
+func TestResumeCommitsIdenticalSegment(t *testing.T) {
+	for _, format := range []wire.Format{wire.FormatJSONL, wire.FormatBinary} {
+		t.Run(string(format), func(t *testing.T) {
+			recs := testRecords("mcf", 6)
+			meta, _ := json.Marshal(map[string]string{"label": "mcf"})
+
+			// Reference: uninterrupted commit.
+			refDir := t.TempDir()
+			ref, err := Open(Options{Dir: refDir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := ref.Begin("cafe")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				if err := w.Record(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Commit(meta); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join(refDir, segNameOf("cafe", format)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Close()
+
+			// Crashed run: 4 of 6 records land, then resume.
+			dir := t.TempDir()
+			s, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashWriter(t, s, "cafe", "mcf", 4)
+			s.Close()
+			s2, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			ck := s2.Checkpoint("cafe")
+			if len(ck) != 4 {
+				t.Fatalf("checkpoint holds %d frames, want 4", len(ck))
+			}
+			w2, err := s2.Resume("cafe", ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs[4:] {
+				if err := w2.Record(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w2.Commit(meta); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(dir, segNameOf("cafe", format)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("resumed segment differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+			}
+			// Commit cleared the checkpoint.
+			if ck := s2.Checkpoint("cafe"); ck != nil {
+				t.Errorf("checkpoint survived commit: %d frames", len(ck))
+			}
+			if st := s2.Stats(); st.Checkpoints != 0 {
+				t.Errorf("stats = %+v, want 0 checkpoints", st)
+			}
+		})
+	}
+}
+
+// TestStaleCheckpointDropped: a checkpoint whose fingerprint committed
+// after all is removed at boot.
+func TestStaleCheckpointDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashWriter(t, s, "aaaa", "mcf", 2)
+	s.Close()
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Checkpoint("aaaa")) != 2 {
+		t.Fatal("no checkpoint after crash")
+	}
+	commit(t, s2, "aaaa", "mcf", 4)
+	s2.Close()
+
+	s3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if ck := s3.Checkpoint("aaaa"); ck != nil {
+		t.Fatalf("stale checkpoint survived: %d frames", len(ck))
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptPrefix+"aaaa")); !os.IsNotExist(err) {
+		t.Error("stale checkpoint file still on disk")
+	}
+}
+
+// TestCommittedFingerprintTmpStillQuarantined: a .tmp for an already
+// committed fingerprint has nothing to resume — quarantined as before.
+func TestCommittedFingerprintTmpStillQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, s, "aaaa", "mcf", 2)
+	crashWriter(t, s, "aaaa", "mcf", 1)
+	s.Close()
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Quarantined != 1 || st.Checkpoints != 0 || st.Segments != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestQuarantineBounds: the quarantine directory is pruned oldest-first
+// to the configured count bound, and stats/gauge account it.
+func TestQuarantineBounds(t *testing.T) {
+	dir := t.TempDir()
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Seed five fake quarantined files with distinct mtimes.
+	for i := 0; i < 5; i++ {
+		name := filepath.Join(qdir, "seg-old"+strings.Repeat("x", i)+".jsonl")
+		if err := os.WriteFile(name, bytes.Repeat([]byte("a"), 10+i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(Options{Dir: dir, QuarantineMaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := s.Stats()
+	if st.QuarantineFiles != 2 {
+		t.Fatalf("stats = %+v, want 2 quarantine files", st)
+	}
+	des, err := os.ReadDir(qdir)
+	if err != nil || len(des) != 2 {
+		t.Fatalf("quarantine holds %d files (%v)", len(des), err)
+	}
+}
+
+// TestQuarantineByteBound: the byte bound prunes too, including files
+// quarantined after boot.
+func TestQuarantineByteBound(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, QuarantineMaxBytes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop two orphan segments that will be quarantined on reopen.
+	for _, name := range []string{segName("orphan1"), segName("orphan2")} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2, err := Open(Options{Dir: dir, QuarantineMaxBytes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Quarantined != 2 {
+		t.Fatalf("stats = %+v, want 2 quarantined", st)
+	}
+	if st.QuarantineBytes > 4 {
+		t.Fatalf("stats = %+v, want <= 4 quarantine bytes", st)
+	}
+}
+
+// TestFaultInjectedWriteError: an armed store.write fault surfaces as a
+// real ENOSPC from Record, and the aborted segment leaves no debris.
+func TestFaultInjectedWriteError(t *testing.T) {
+	p, err := fault.Parse("store.write:error@2=ENOSPC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(p)
+	defer fault.Disarm()
+
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w, err := s.Begin("aaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords("mcf", 2)
+	if err := w.Record(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(recs[1]); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName("aaaa")+tmpSuffix)); !os.IsNotExist(err) {
+		t.Error(".tmp debris after abort")
+	}
+}
+
+// TestFaultInjectedCommitFaults: fsync and rename faults fail Commit
+// cleanly without corrupting the store.
+func TestFaultInjectedCommitFaults(t *testing.T) {
+	for _, plan := range []string{"store.fsync:error@1=EIO", "store.rename:error@1=EIO"} {
+		t.Run(plan, func(t *testing.T) {
+			p, err := fault.Parse(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fault.Arm(p)
+			defer fault.Disarm()
+
+			dir := t.TempDir()
+			s, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := s.Begin("aaaa")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Record(testRecords("mcf", 1)[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Commit(nil); !errors.Is(err, syscall.EIO) {
+				t.Fatalf("Commit = %v, want EIO", err)
+			}
+			if _, ok := s.Get("aaaa"); ok {
+				t.Error("failed commit is indexed")
+			}
+			s.Close()
+			fault.Disarm()
+
+			// The next boot salvages whatever the failed commit left.
+			s2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if _, ok := s2.Get("aaaa"); ok {
+				t.Error("failed commit resurrected")
+			}
+		})
+	}
+}
+
+// TestCheckpointEveryDisabled: negative CheckpointEvery restores the old
+// buffer-until-commit behavior, so a crash right after a record leaves
+// nothing flushed for small segments.
+func TestCheckpointEveryDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashWriter(t, s, "aaaa", "mcf", 3)
+	s.Close()
+	// All three records fit in the bufio buffer, so the .tmp is empty
+	// and gets quarantined, not salvaged.
+	s2, err := Open(Options{Dir: dir, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if ck := s2.Checkpoint("aaaa"); ck != nil {
+		t.Fatalf("unexpected checkpoint: %d frames", len(ck))
+	}
+}

@@ -18,8 +18,13 @@
 //	                      directory may mix both suffixes freely
 //	seg-<fp>.*.tmp        a campaign still being written (crash debris if
 //	                      one survives a restart)
+//	ckpt-<fp>             a checkpoint: the intact record prefix salvaged
+//	                      from a crashed campaign's .tmp segment, kept as
+//	                      canonical JSONL so the campaign can resume from
+//	                      its completed records instead of re-running
 //	quarantine/           segments recovery refused to trust, kept for
-//	                      forensics instead of deleted
+//	                      forensics instead of deleted (bounded by
+//	                      Options.QuarantineMaxFiles/Bytes)
 //
 // Crash safety. A segment is written to a .tmp file while the campaign
 // runs, then fsync'd, renamed into place, and only after the directory
@@ -27,16 +32,24 @@
 // so a manifest entry always names a fully durable segment. Recovery
 // (Open) distrusts everything anyway: the manifest is parsed with prefix
 // salvage (a line truncated by a crash drops, the intact prefix stands),
-// leftover .tmp files and segments the manifest doesn't claim are
-// quarantined, and every claimed segment is re-parsed and length-checked —
-// a truncated or corrupt segment is quarantined and its entry dropped, so
-// the damaged campaign simply re-runs while intact ones replay.
+// leftover .tmp files have their intact record prefix salvaged into a
+// checkpoint (the wire reader's prefix-salvage contract), segments the
+// manifest doesn't claim are quarantined, and every claimed segment is
+// re-parsed and length-checked — a truncated or corrupt segment is
+// quarantined and its entry dropped, so the damaged campaign simply
+// re-runs while intact ones replay. The writer flushes its buffer every
+// Options.CheckpointEvery records (default: every record), so the bytes a
+// crash can lose are bounded to the tail past the last flush.
 //
 // Compaction. The store is size/count-bounded (Options.MaxSegments,
 // MaxBytes): committing past a bound evicts least-recently-used segments
 // first, mirroring the serving registry's LRU order — Touch is how the
 // registry propagates its clock. The manifest journal itself is compacted
 // (rewritten to pure puts) on Open when touch/del churn has bloated it.
+//
+// Fault injection. The hot durability transitions are instrumented as
+// fault sites (store.write, store.fsync, store.rename) so chaos plans can
+// fail or crash exact calls; see internal/fault.
 package store
 
 import (
@@ -52,6 +65,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/wire"
 )
 
@@ -62,7 +76,14 @@ const (
 	segSuffix     = ".jsonl"
 	segBinSuffix  = ".bin"
 	tmpSuffix     = ".tmp"
+	ckptPrefix    = "ckpt-"
 )
+
+func init() {
+	fault.Register("store.write")
+	fault.Register("store.fsync")
+	fault.Register("store.rename")
+}
 
 // Options parameterizes a Store.
 type Options struct {
@@ -83,6 +104,18 @@ type Options struct {
 	// and mixed-format directories replay fine; only future commits follow
 	// this option. Replayed streams are byte-identical either way.
 	Format wire.Format
+	// CheckpointEvery flushes the segment writer's buffer every N records
+	// so a crash loses at most the tail past the last flush and boot
+	// recovery can salvage the rest into a checkpoint. Zero means 1
+	// (flush every record); negative disables intra-segment flushing
+	// (only Commit flushes, the pre-checkpoint behavior).
+	CheckpointEvery int
+	// QuarantineMaxFiles bounds how many files quarantine/ retains; zero
+	// means unbounded. Oldest files are evicted first.
+	QuarantineMaxFiles int
+	// QuarantineMaxBytes bounds quarantine/'s total size; zero means
+	// unbounded. Oldest files are evicted first.
+	QuarantineMaxBytes int64
 }
 
 // Entry is one committed characterization: where its records live and the
@@ -117,6 +150,13 @@ type Stats struct {
 	Quarantined int
 	// Compactions counts segments evicted by the size/count bounds.
 	Compactions int
+	// Checkpoints counts live ckpt-<fp> files: crashed campaigns whose
+	// completed records await a resume.
+	Checkpoints int
+	// QuarantineFiles and QuarantineBytes size the quarantine/ directory
+	// as currently on disk (after any bound-driven eviction).
+	QuarantineFiles int
+	QuarantineBytes int64
 }
 
 // manifestOp is one journal line.
@@ -144,6 +184,9 @@ type Store struct {
 	ops         int // journal lines since the last rewrite
 	quarantined int
 	compactions int
+	checkpoints int
+	quarFiles   int
+	quarBytes   int64
 	closed      bool
 }
 
@@ -166,6 +209,9 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: create %s: %w", opts.Dir, err)
 	}
 	s := &Store{opts: opts, entries: make(map[string]*Entry)}
+	if err := s.scanQuarantine(); err != nil {
+		return nil, err
+	}
 
 	dirty, err := s.replayManifest()
 	if err != nil {
@@ -175,6 +221,9 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	if err := s.verifySegments(&dirty); err != nil {
+		return nil, err
+	}
+	if err := s.pruneQuarantine(); err != nil {
 		return nil, err
 	}
 
@@ -301,9 +350,13 @@ func (s *Store) replayManifest() (dirty bool, err error) {
 	return false, nil
 }
 
-// sweepDir quarantines crash debris: .tmp segments from campaigns that
-// never committed, and committed-looking segments the manifest does not
-// claim (a crash between rename and manifest append).
+// sweepDir handles crash debris. A .tmp segment from a campaign that
+// never committed has its intact record prefix salvaged into a
+// ckpt-<fp> checkpoint (so the campaign can resume from its completed
+// records) unless the fingerprint is already committed; an unreadable
+// .tmp, a committed-looking segment the manifest does not claim (a crash
+// between rename and manifest append), and checkpoints obsoleted by a
+// commit are quarantined or removed.
 func (s *Store) sweepDir(dirty *bool) error {
 	claimed := make(map[string]bool, len(s.entries))
 	for _, e := range s.entries {
@@ -318,18 +371,250 @@ func (s *Store) sweepDir(dirty *bool) error {
 		if de.IsDir() || name == manifestName {
 			continue
 		}
-		orphanTmp := strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, tmpSuffix)
-		orphanSeg := isSegName(name) && !claimed[name]
-		if !orphanTmp && !orphanSeg {
-			continue
-		}
-		if err := s.quarantine(name); err != nil {
-			return err
-		}
-		if orphanSeg {
+		switch {
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, tmpSuffix):
+			if err := s.salvageTmp(name); err != nil {
+				return err
+			}
+		case strings.HasPrefix(name, ckptPrefix):
+			fp := strings.TrimPrefix(name, ckptPrefix)
+			if _, committed := s.entries[fp]; committed {
+				// The campaign finished after all; the checkpoint is
+				// obsolete.
+				if err := os.Remove(filepath.Join(s.opts.Dir, name)); err != nil {
+					return fmt.Errorf("store: drop stale checkpoint %s: %w", name, err)
+				}
+			} else {
+				s.checkpoints++
+			}
+		case isSegName(name) && !claimed[name]:
+			if err := s.quarantine(name); err != nil {
+				return err
+			}
 			*dirty = true
 		}
 	}
+	return nil
+}
+
+// tmpFingerprint recovers the fingerprint from a .tmp segment name, or ""
+// if the name does not parse.
+func tmpFingerprint(name string) string {
+	fp := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), tmpSuffix)
+	switch {
+	case strings.HasSuffix(fp, segSuffix):
+		fp = strings.TrimSuffix(fp, segSuffix)
+	case strings.HasSuffix(fp, segBinSuffix):
+		fp = strings.TrimSuffix(fp, segBinSuffix)
+	default:
+		return ""
+	}
+	if validFingerprint(fp) != nil {
+		return ""
+	}
+	return fp
+}
+
+// salvageTmp turns an uncommitted .tmp segment into a resume checkpoint:
+// the intact record prefix (wire.ReadSegment's salvage contract tolerates
+// a torn tail in either format) is written as canonical JSONL to
+// ckpt-<fp>, fsync'd, and the .tmp removed. A .tmp with no salvageable
+// records, an unparseable name, or a fingerprint that already has a
+// committed segment is quarantined as before.
+func (s *Store) salvageTmp(name string) error {
+	fp := tmpFingerprint(name)
+	_, committed := s.entries[fp]
+	var frames []core.Frame
+	if fp != "" && !committed {
+		var err error
+		frames, err = readSegmentFile(filepath.Join(s.opts.Dir, name))
+		var re *wire.ReadError
+		if err != nil && !errors.As(err, &re) {
+			frames = nil // unreadable outright; quarantine below
+		}
+	}
+	if len(frames) == 0 {
+		return s.quarantine(name)
+	}
+	if prev, err := s.readCheckpoint(fp); err == nil && len(prev) >= len(frames) {
+		// A previous crash already salvaged at least this much (the .tmp
+		// of a resumed run replays the full prefix, so newer is normally
+		// longer); keep the longer checkpoint.
+		if err := os.Remove(filepath.Join(s.opts.Dir, name)); err != nil {
+			return fmt.Errorf("store: drop salvaged %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := s.writeCheckpoint(fp, frames); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.opts.Dir, name)); err != nil {
+		return fmt.Errorf("store: drop salvaged %s: %w", name, err)
+	}
+	obsCheckpoints.Inc()
+	return nil
+}
+
+// checkpointPath is the checkpoint file for a fingerprint.
+func (s *Store) checkpointPath(fp string) string {
+	return filepath.Join(s.opts.Dir, ckptPrefix+fp)
+}
+
+// writeCheckpoint persists frames as a JSONL checkpoint, fsync'd, and
+// counts it. Overwriting an existing checkpoint keeps the count right.
+func (s *Store) writeCheckpoint(fp string, frames []core.Frame) error {
+	_, existed := os.Stat(s.checkpointPath(fp))
+	f, err := os.OpenFile(s.checkpointPath(fp), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write checkpoint %s: %w", fp, err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, fr := range frames {
+		if _, err := bw.Write(fr.Line); err != nil {
+			f.Close()
+			return fmt.Errorf("store: write checkpoint %s: %w", fp, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: flush checkpoint %s: %w", fp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync checkpoint %s: %w", fp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close checkpoint %s: %w", fp, err)
+	}
+	if existed == nil {
+		return nil
+	}
+	s.checkpoints++
+	return nil
+}
+
+// readCheckpoint loads a checkpoint's frames; os.ErrNotExist when none.
+// A checkpoint torn by yet another crash yields its intact prefix.
+func (s *Store) readCheckpoint(fp string) ([]core.Frame, error) {
+	frames, err := readSegmentFile(s.checkpointPath(fp))
+	var re *wire.ReadError
+	if err != nil && errors.As(err, &re) && len(frames) > 0 {
+		return frames, nil
+	}
+	return frames, err
+}
+
+// Checkpoint returns the completed records salvaged from a crashed
+// campaign for this fingerprint, as frames carrying their canonical
+// JSONL lines, or nil when no checkpoint exists. Callers that resume
+// should replay (a prefix of) these frames through Resume and clear the
+// checkpoint once the resumed segment commits (Commit does this
+// automatically).
+func (s *Store) Checkpoint(fp string) []core.Frame {
+	if validFingerprint(fp) != nil {
+		return nil
+	}
+	frames, err := s.readCheckpoint(fp)
+	if err != nil {
+		return nil
+	}
+	return frames
+}
+
+// ClearCheckpoint drops a fingerprint's checkpoint, if any.
+func (s *Store) ClearCheckpoint(fp string) {
+	if validFingerprint(fp) != nil {
+		return
+	}
+	if err := os.Remove(s.checkpointPath(fp)); err == nil {
+		s.mu.Lock()
+		if s.checkpoints > 0 {
+			s.checkpoints--
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Resume begins a fresh segment writer for fp and replays the given
+// frames (normally a prefix of Checkpoint(fp)) into it, handing back a
+// writer positioned to append the campaign's remaining records. The
+// rewrite-from-zero keeps every durability invariant of a normal Begin:
+// the .tmp is truncated, so a second crash just salvages again.
+func (s *Store) Resume(fp string, frames []core.Frame) (*Writer, error) {
+	w, err := s.Begin(fp)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range frames {
+		if err := w.Frame(f); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// scanQuarantine initializes the quarantine accounting from disk.
+func (s *Store) scanQuarantine() error {
+	des, err := os.ReadDir(filepath.Join(s.opts.Dir, quarantineDir))
+	if err != nil {
+		return fmt.Errorf("store: scan quarantine: %w", err)
+	}
+	s.quarFiles, s.quarBytes = 0, 0
+	for _, de := range des {
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.quarFiles++
+		s.quarBytes += info.Size()
+	}
+	return nil
+}
+
+// pruneQuarantine evicts the oldest quarantined files until the
+// configured bounds hold. Forensics lose to disk safety: a crash-looping
+// daemon must not fill the disk with copies of the same torn segment.
+func (s *Store) pruneQuarantine() error {
+	if s.opts.QuarantineMaxFiles <= 0 && s.opts.QuarantineMaxBytes <= 0 {
+		return nil
+	}
+	dir := filepath.Join(s.opts.Dir, quarantineDir)
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: scan quarantine: %w", err)
+	}
+	type qfile struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var files []qfile
+	var total int64
+	for _, de := range des {
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{de.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for len(files) > 0 {
+		over := (s.opts.QuarantineMaxFiles > 0 && len(files) > s.opts.QuarantineMaxFiles) ||
+			(s.opts.QuarantineMaxBytes > 0 && total > s.opts.QuarantineMaxBytes)
+		if !over {
+			break
+		}
+		victim := files[0]
+		if err := os.Remove(filepath.Join(dir, victim.name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("store: prune quarantine %s: %w", victim.name, err)
+		}
+		files = files[1:]
+		total -= victim.size
+	}
+	s.quarFiles, s.quarBytes = len(files), total
+	obsQuarantineBytes.Set(total)
 	return nil
 }
 
@@ -362,7 +647,8 @@ func (s *Store) verifySegments(dirty *bool) error {
 }
 
 // quarantine moves a file under quarantine/, uniquifying the target name
-// so repeated recoveries never clobber earlier evidence.
+// so repeated recoveries never clobber earlier evidence, then prunes the
+// directory back under its configured bounds (oldest evicted first).
 func (s *Store) quarantine(name string) error {
 	src := filepath.Join(s.opts.Dir, name)
 	dst := filepath.Join(s.opts.Dir, quarantineDir, name)
@@ -372,12 +658,19 @@ func (s *Store) quarantine(name string) error {
 		}
 		dst = filepath.Join(s.opts.Dir, quarantineDir, fmt.Sprintf("%s.%d", name, i))
 	}
+	var size int64
+	if fi, err := os.Stat(src); err == nil {
+		size = fi.Size()
+	}
 	if err := os.Rename(src, dst); err != nil {
 		return fmt.Errorf("store: quarantine %s: %w", name, err)
 	}
 	s.quarantined++
+	s.quarFiles++
+	s.quarBytes += size
 	obsQuarantined.Inc()
-	return nil
+	obsQuarantineBytes.Set(s.quarBytes)
+	return s.pruneQuarantine()
 }
 
 // rewriteManifest atomically replaces the journal with one put line per
@@ -488,15 +781,16 @@ func (s *Store) appendOpLocked(op manifestOp, sync bool) error {
 // writer re-frames the already-decoded record without JSON work. Exactly
 // one of Commit or Abort must be called.
 type Writer struct {
-	st      *Store
-	fp      string
-	format  wire.Format
-	f       *os.File
-	bw      *bufio.Writer
-	scratch []byte
-	records int
-	bytes   int64
-	done    bool
+	st        *Store
+	fp        string
+	format    wire.Format
+	f         *os.File
+	bw        *bufio.Writer
+	scratch   []byte
+	records   int
+	bytes     int64
+	ckptEvery int
+	done      bool
 }
 
 // Begin opens a segment writer for a fingerprint, in the store's
@@ -518,7 +812,14 @@ func (s *Store) Begin(fp string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: begin segment %s: %w", fp, err)
 	}
-	w := &Writer{st: s, fp: fp, format: s.opts.Format, f: f, bw: bufio.NewWriter(f)}
+	every := s.opts.CheckpointEvery
+	if every == 0 {
+		every = 1
+	}
+	if every < 0 {
+		every = 0
+	}
+	w := &Writer{st: s, fp: fp, format: s.opts.Format, f: f, bw: bufio.NewWriter(f), ckptEvery: every}
 	if w.format == wire.FormatBinary {
 		if err := w.write(wire.Header()); err != nil {
 			f.Close()
@@ -531,10 +832,28 @@ func (s *Store) Begin(fp string) (*Writer, error) {
 
 // write appends raw bytes to the segment, tracking the committed size.
 func (w *Writer) write(p []byte) error {
+	if err := fault.Inject("store.write"); err != nil {
+		return fmt.Errorf("store: write segment: %w", err)
+	}
 	n, err := w.bw.Write(p)
 	w.bytes += int64(n)
 	if err != nil {
 		return fmt.Errorf("store: write segment: %w", err)
+	}
+	return nil
+}
+
+// checkpoint flushes the buffer every ckptEvery records so the bytes a
+// crash can lose are bounded — the write syscall puts them in the page
+// cache, which survives process death (fsync still only happens at
+// Commit; power loss can cost the whole uncommitted segment either way,
+// which recovery already tolerates).
+func (w *Writer) checkpoint() error {
+	if w.ckptEvery <= 0 || w.records%w.ckptEvery != 0 {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush segment: %w", err)
 	}
 	return nil
 }
@@ -559,7 +878,7 @@ func (w *Writer) Record(rec core.RunRecord) error {
 		return err
 	}
 	w.records++
-	return nil
+	return w.checkpoint()
 }
 
 // Frame implements core.FrameSink: a JSONL segment appends the shared
@@ -576,7 +895,7 @@ func (w *Writer) Frame(f core.Frame) error {
 		return err
 	}
 	w.records++
-	return nil
+	return w.checkpoint()
 }
 
 var _ core.Sink = (*Writer)(nil)
@@ -596,6 +915,10 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 		w.f.Close()
 		return fmt.Errorf("store: flush segment: %w", err)
 	}
+	if err := fault.Inject("store.fsync"); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: sync segment: %w", err)
+	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("store: sync segment: %w", err)
@@ -605,12 +928,17 @@ func (w *Writer) Commit(meta json.RawMessage) error {
 	}
 	s, name := w.st, segNameOf(w.fp, w.format)
 	final := filepath.Join(s.opts.Dir, name)
+	if err := fault.Inject("store.rename"); err != nil {
+		return fmt.Errorf("store: install segment: %w", err)
+	}
 	if err := os.Rename(final+tmpSuffix, final); err != nil {
 		return fmt.Errorf("store: install segment: %w", err)
 	}
 	if err := syncDir(s.opts.Dir); err != nil {
 		return err
 	}
+	// The commit supersedes any crash checkpoint for this fingerprint.
+	s.ClearCheckpoint(w.fp)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -826,7 +1154,10 @@ func (s *Store) compactLocked() error {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Quarantined: s.quarantined, Compactions: s.compactions}
+	st := Stats{
+		Quarantined: s.quarantined, Compactions: s.compactions,
+		Checkpoints: s.checkpoints, QuarantineFiles: s.quarFiles, QuarantineBytes: s.quarBytes,
+	}
 	for _, e := range s.entries {
 		st.Segments++
 		st.Bytes += e.Bytes
